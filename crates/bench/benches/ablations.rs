@@ -1,0 +1,95 @@
+//! Benches for the design-choice ablations of DESIGN.md §5: each variant's
+//! replay is timed, and the resulting miss counts are printed once so a
+//! bench run doubles as a quick ablation report. (The full sweeps live in
+//! `sdbp-repro ablation`.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdbp::config::{SamplerConfig, SdbpConfig, TableConfig};
+use sdbp::policies;
+use sdbp_bench::bench_workload;
+use sdbp_cache::replay::replay;
+use sdbp_cache::{Cache, CacheConfig};
+use std::hint::black_box;
+use std::sync::Once;
+
+fn run_variant(cfg: SdbpConfig) -> u64 {
+    let w = bench_workload("456.hmmer");
+    let llc = CacheConfig::llc_2mb();
+    let mut cache = Cache::with_policy(llc, policies::sampler_with_config(llc, cfg));
+    replay(&w.llc, &mut cache).stats.misses
+}
+
+fn report_once() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let base = run_variant(SdbpConfig::paper());
+        println!("ablation miss counts on 456.hmmer (paper config = {base}):");
+        for (label, cfg) in ablation_variants() {
+            println!("  {label:<24} {}", run_variant(cfg));
+        }
+    });
+}
+
+fn ablation_variants() -> Vec<(&'static str, SdbpConfig)> {
+    let mut variants = vec![
+        ("sampler_assoc_16", SdbpConfig {
+            sampler: Some(SamplerConfig { assoc: 16, ..SamplerConfig::default() }),
+            tables: TableConfig::skewed(),
+        }),
+        ("single_table", SdbpConfig {
+            sampler: Some(SamplerConfig::default()),
+            tables: TableConfig::single(),
+        }),
+        ("no_self_learning", SdbpConfig {
+            sampler: Some(SamplerConfig { dead_block_victims: false, ..SamplerConfig::default() }),
+            tables: TableConfig::skewed(),
+        }),
+        ("tag_bits_8", SdbpConfig {
+            sampler: Some(SamplerConfig { tag_bits: 8, ..SamplerConfig::default() }),
+            tables: TableConfig::skewed(),
+        }),
+    ];
+    for sets in [8usize, 64, 128] {
+        let label: &'static str = match sets {
+            8 => "sampler_sets_8",
+            64 => "sampler_sets_64",
+            _ => "sampler_sets_128",
+        };
+        variants.push((label, SdbpConfig {
+            sampler: Some(SamplerConfig { sets, ..SamplerConfig::default() }),
+            tables: TableConfig::skewed(),
+        }));
+    }
+    for threshold in [4u32, 6, 9] {
+        let label: &'static str = match threshold {
+            4 => "threshold_4",
+            6 => "threshold_6",
+            _ => "threshold_9",
+        };
+        variants.push((label, SdbpConfig {
+            sampler: Some(SamplerConfig::default()),
+            tables: TableConfig { threshold, ..TableConfig::skewed() },
+        }));
+    }
+    variants
+}
+
+fn ablation_benches(c: &mut Criterion) {
+    report_once();
+    let w = bench_workload("456.hmmer");
+    let llc = CacheConfig::llc_2mb();
+    let mut group = c.benchmark_group("ablations");
+    for (label, cfg) in ablation_variants() {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cache =
+                    Cache::with_policy(llc, policies::sampler_with_config(llc, cfg));
+                replay(black_box(&w.llc), &mut cache).stats.misses
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_benches);
+criterion_main!(benches);

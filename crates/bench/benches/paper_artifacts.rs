@@ -1,0 +1,192 @@
+//! One Criterion bench per paper table and figure: each measures the code
+//! path that regenerates the artifact, at a reduced instruction budget.
+//! (Full-scale outputs come from `sdbp-repro`.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdbp::config::SdbpConfig;
+use sdbp::policies;
+use sdbp_bench::{bench_mix, bench_workload};
+use sdbp_cache::recorder::merge_streams;
+use sdbp_cache::replay::replay;
+use sdbp_cache::{Cache, CacheConfig};
+use sdbp_cpu::CoreModel;
+use sdbp_harness::runner::PolicyKind;
+use sdbp_power::power::PowerModel;
+use sdbp_power::storage::{predictor_storage, PredictorKind};
+use std::hint::black_box;
+
+fn table1_storage(c: &mut Criterion) {
+    c.bench_function("table1_storage", |b| {
+        b.iter(|| {
+            PredictorKind::ALL
+                .iter()
+                .map(|&k| predictor_storage(k).total_bits())
+                .sum::<u64>()
+        })
+    });
+}
+
+fn table2_power(c: &mut Criterion) {
+    c.bench_function("table2_power", |b| {
+        b.iter(|| {
+            let m = PowerModel::calibrated();
+            PredictorKind::ALL
+                .iter()
+                .map(|&k| {
+                    let r = m.report(k);
+                    r.leakage_w() + r.dynamic_w()
+                })
+                .sum::<f64>()
+        })
+    });
+}
+
+fn table3_baselines(c: &mut Criterion) {
+    let w = bench_workload("456.hmmer");
+    let llc = CacheConfig::llc_2mb();
+    c.bench_function("table3_baselines", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(llc);
+            let r = replay(black_box(&w.llc), &mut cache);
+            let opt = sdbp_optimal::simulate(&w.llc, llc);
+            (r.stats.misses, opt.misses)
+        })
+    });
+}
+
+fn table4_sensitivity(c: &mut Criterion) {
+    let workloads = bench_mix("mix1");
+    let merged = merge_streams(&workloads);
+    c.bench_function("table4_sensitivity", |b| {
+        b.iter(|| {
+            [128u64, 1024, 8192]
+                .iter()
+                .map(|kb| {
+                    let cfg = CacheConfig::llc_with_capacity(kb << 10);
+                    let mut cache = Cache::new(cfg);
+                    replay(black_box(&merged), &mut cache).stats.misses
+                })
+                .sum::<u64>()
+        })
+    });
+}
+
+fn fig1_efficiency(c: &mut Criterion) {
+    let w = bench_workload("456.hmmer");
+    let llc = CacheConfig::llc_with_capacity(1 << 20);
+    c.bench_function("fig1_efficiency", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(llc);
+            cache.track_efficiency();
+            replay(black_box(&w.llc), &mut cache);
+            cache.finish();
+            cache.efficiency().map(|e| e.overall())
+        })
+    });
+}
+
+fn fig4_mpki(c: &mut Criterion) {
+    let w = bench_workload("456.hmmer");
+    let llc = CacheConfig::llc_2mb();
+    let mut group = c.benchmark_group("fig4_mpki");
+    for policy in PolicyKind::lru_comparison() {
+        group.bench_function(policy.label(), |b| {
+            b.iter(|| {
+                let mut cache = Cache::with_policy(llc, policy.build(llc, 1));
+                replay(black_box(&w.llc), &mut cache).stats.misses
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig5_speedup(c: &mut Criterion) {
+    let w = bench_workload("456.hmmer");
+    let llc = CacheConfig::llc_2mb();
+    let mut cache = Cache::with_policy(llc, policies::sampler_lru(llc));
+    let hits = replay(&w.llc, &mut cache).hits;
+    c.bench_function("fig5_speedup_timing_model", |b| {
+        b.iter(|| CoreModel::default().simulate(black_box(&w.records), black_box(&hits)).ipc())
+    });
+}
+
+fn fig6_ablation(c: &mut Criterion) {
+    let w = bench_workload("456.hmmer");
+    let llc = CacheConfig::llc_2mb();
+    let mut group = c.benchmark_group("fig6_ablation");
+    for (label, cfg) in [
+        ("dbrb_alone", SdbpConfig::dbrb_alone()),
+        ("paper", SdbpConfig::paper()),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cache =
+                    Cache::with_policy(llc, policies::sampler_with_config(llc, cfg));
+                replay(black_box(&w.llc), &mut cache).stats.misses
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig7_random_mpki(c: &mut Criterion) {
+    let w = bench_workload("462.libquantum");
+    let llc = CacheConfig::llc_2mb();
+    c.bench_function("fig7_random_mpki", |b| {
+        b.iter(|| {
+            let mut cache = Cache::with_policy(llc, policies::sampler_random(llc));
+            replay(black_box(&w.llc), &mut cache).stats.misses
+        })
+    });
+}
+
+fn fig8_random_speedup(c: &mut Criterion) {
+    let w = bench_workload("462.libquantum");
+    let llc = CacheConfig::llc_2mb();
+    let mut cache = Cache::with_policy(llc, policies::sampler_random(llc));
+    let hits = replay(&w.llc, &mut cache).hits;
+    c.bench_function("fig8_random_speedup_timing", |b| {
+        b.iter(|| CoreModel::default().simulate(black_box(&w.records), black_box(&hits)).cycles)
+    });
+}
+
+fn fig9_accuracy(c: &mut Criterion) {
+    let w = bench_workload("473.astar");
+    let llc = CacheConfig::llc_2mb();
+    c.bench_function("fig9_accuracy_counters", |b| {
+        b.iter(|| {
+            let mut cache = Cache::with_policy(llc, policies::sampler_lru(llc));
+            let stats = replay(black_box(&w.llc), &mut cache).stats;
+            (stats.coverage(), stats.false_positive_rate())
+        })
+    });
+}
+
+fn fig10_multicore(c: &mut Criterion) {
+    let workloads = bench_mix("mix1");
+    let merged = merge_streams(&workloads);
+    let llc = CacheConfig::llc_8mb();
+    c.bench_function("fig10_multicore_shared_replay", |b| {
+        b.iter(|| {
+            let mut cache = Cache::with_policy(llc, policies::sampler_lru(llc));
+            replay(black_box(&merged), &mut cache).stats.misses
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    table1_storage,
+    table2_power,
+    table3_baselines,
+    table4_sensitivity,
+    fig1_efficiency,
+    fig4_mpki,
+    fig5_speedup,
+    fig6_ablation,
+    fig7_random_mpki,
+    fig8_random_speedup,
+    fig9_accuracy,
+    fig10_multicore
+);
+criterion_main!(benches);

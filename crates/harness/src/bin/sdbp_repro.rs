@@ -1,0 +1,105 @@
+//! `sdbp-repro` — regenerate the tables and figures of "Sampling Dead
+//! Block Prediction for Last-Level Caches" (MICRO-43, 2010).
+//!
+//! Usage:
+//!
+//! ```text
+//! sdbp-repro list                      # show the experiment index
+//! sdbp-repro fig4 fig5                 # run selected experiments
+//! sdbp-repro all                       # run everything, in paper order
+//! sdbp-repro --instructions 16000000 fig4
+//! sdbp-repro --output results.txt all
+//! ```
+//!
+//! The per-benchmark instruction budget defaults to 8M; override with
+//! `--instructions N` or the `SDBP_INSTRUCTIONS` environment variable.
+
+use sdbp_harness::experiments::{self, Context, ALL_EXPERIMENTS};
+use std::io::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut output: Option<std::fs::File> = None;
+    // Flag parsing: --instructions N, --output FILE.
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--instructions" => {
+                let n = args.get(i + 1).and_then(|v| v.parse::<u64>().ok());
+                match n {
+                    Some(n) if n > 0 => {
+                        // Read once per record; set before any recording.
+                        std::env::set_var("SDBP_INSTRUCTIONS", n.to_string());
+                        args.drain(i..=i + 1);
+                    }
+                    _ => {
+                        eprintln!("--instructions needs a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--output" => {
+                let path = match args.get(i + 1) {
+                    Some(p) => p.clone(),
+                    None => {
+                        eprintln!("--output needs a file path");
+                        std::process::exit(2);
+                    }
+                };
+                match std::fs::File::create(&path) {
+                    Ok(f) => {
+                        output = Some(f);
+                        args.drain(i..=i + 1);
+                    }
+                    Err(e) => {
+                        eprintln!("cannot create {path}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
+        eprintln!("usage: sdbp-repro [--instructions N] [--output FILE] [list | all | <experiment>...]");
+        eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    if args[0] == "list" {
+        for id in ALL_EXPERIMENTS {
+            println!("{id}");
+        }
+        return;
+    }
+
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    let ctx = Context::new();
+    let mut failed = false;
+    for id in ids {
+        let start = Instant::now();
+        match experiments::run(&ctx, id) {
+            Ok(report) => {
+                println!("==== {id} ====");
+                println!("{report}");
+                if let Some(f) = output.as_mut() {
+                    let _ = writeln!(f, "==== {id} ====
+{report}");
+                }
+                eprintln!("[{id}: {:.1}s]", start.elapsed().as_secs_f64());
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

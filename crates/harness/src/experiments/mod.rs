@@ -1,0 +1,138 @@
+//! One module per paper artifact, plus the shared experiment [`Context`].
+
+pub mod ablation;
+pub mod extensions;
+pub mod fig1;
+pub mod multicore;
+pub mod singlecore;
+pub mod tables;
+
+use crate::runner::{run_matrix, PolicyKind, RecordStore, SingleResult};
+use sdbp_cache::CacheConfig;
+use sdbp_workloads::subset;
+use std::sync::OnceLock;
+
+/// Shared state for a harness invocation: the record store plus memoized
+/// result matrices, so `sdbp-repro all` never recomputes a run.
+#[derive(Debug, Default)]
+pub struct Context {
+    /// Recorded workloads, shared across experiments.
+    pub store: RecordStore,
+    lru_matrix: OnceLock<Vec<Vec<SingleResult>>>,
+    random_matrix: OnceLock<Vec<Vec<SingleResult>>>,
+    ablation_matrix: OnceLock<Vec<Vec<SingleResult>>>,
+}
+
+impl Context {
+    /// Creates a fresh context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The single-core LLC geometry (2 MB, 16-way).
+    pub fn llc(&self) -> CacheConfig {
+        CacheConfig::llc_2mb()
+    }
+
+    /// The shared quad-core LLC geometry (8 MB, 16-way).
+    pub fn llc_shared(&self) -> CacheConfig {
+        CacheConfig::llc_8mb()
+    }
+
+    /// LRU + the Figure 4/5 policies over the 19-benchmark subset.
+    /// Results: per benchmark, `[LRU, TDBP, CDBP, DIP, RRIP, Sampler]`.
+    pub fn lru_matrix(&self) -> &Vec<Vec<SingleResult>> {
+        self.lru_matrix.get_or_init(|| {
+            let mut policies = vec![PolicyKind::Lru];
+            policies.extend(PolicyKind::lru_comparison());
+            run_matrix(&self.store, &subset(), &policies, self.llc())
+        })
+    }
+
+    /// LRU + the Figure 7/8 random-default policies over the subset.
+    /// Results: per benchmark, `[LRU, Random, Random CDBP, Random Sampler]`.
+    pub fn random_matrix(&self) -> &Vec<Vec<SingleResult>> {
+        self.random_matrix.get_or_init(|| {
+            let mut policies = vec![PolicyKind::Lru];
+            policies.extend(PolicyKind::random_comparison());
+            run_matrix(&self.store, &subset(), &policies, self.llc())
+        })
+    }
+
+    /// LRU + the Figure 6 ablation ladder over the subset.
+    pub fn ablation_matrix(&self) -> &Vec<Vec<SingleResult>> {
+        self.ablation_matrix.get_or_init(|| {
+            let mut policies = vec![PolicyKind::Lru];
+            policies.extend(PolicyKind::ablation_ladder());
+            run_matrix(&self.store, &subset(), &policies, self.llc())
+        })
+    }
+}
+
+/// Experiment ids in paper order, plus the extra ablation sweeps.
+pub const ALL_EXPERIMENTS: [&str; 14] = [
+    "table1", "table2", "fig1", "table3", "table4", "fig4", "fig5", "fig6", "fig7", "fig8",
+    "fig9", "fig10", "ablation", "extensions",
+];
+
+/// Runs one experiment by id, returning its rendered report.
+///
+/// # Errors
+///
+/// Returns an error message for an unknown id.
+pub fn run(ctx: &Context, id: &str) -> Result<String, String> {
+    match id {
+        "table1" => Ok(tables::table1()),
+        "table2" => Ok(tables::table2()),
+        "table3" => Ok(tables::table3(ctx)),
+        "table4" => Ok(tables::table4(ctx)),
+        "fig1" => Ok(fig1::run(ctx)),
+        "fig4" => Ok(singlecore::fig4(ctx)),
+        "fig5" => Ok(singlecore::fig5(ctx)),
+        "fig6" => Ok(singlecore::fig6(ctx)),
+        "fig7" => Ok(singlecore::fig7(ctx)),
+        "fig8" => Ok(singlecore::fig8(ctx)),
+        "fig9" => Ok(singlecore::fig9(ctx)),
+        "fig10" => Ok(multicore::fig10(ctx)),
+        "ablation" => Ok(ablation::run(ctx)),
+        "extensions" => Ok(extensions::run(ctx)),
+        other => Err(format!(
+            "unknown experiment '{other}'; known: {}",
+            ALL_EXPERIMENTS.join(", ")
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_free_experiments_render() {
+        // table1/table2 need no simulation; they must render instantly and
+        // contain the headline numbers.
+        let ctx = Context::new();
+        let t1 = run(&ctx, "table1").expect("table1 runs");
+        assert!(t1.contains("13.75"));
+        assert!(t1.contains("reftrace"));
+        let t2 = run(&ctx, "table2").expect("table2 runs");
+        assert!(t2.contains("sampler"));
+        assert!(t2.contains("% LLC"));
+    }
+
+    #[test]
+    fn unknown_experiment_is_an_error() {
+        let ctx = Context::new();
+        let err = run(&ctx, "fig99").unwrap_err();
+        assert!(err.contains("unknown experiment"));
+        assert!(err.contains("fig10"), "error should list known ids");
+    }
+
+    #[test]
+    fn experiment_index_is_complete_and_unique() {
+        let mut ids = ALL_EXPERIMENTS.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), ALL_EXPERIMENTS.len());
+    }
+}

@@ -1,0 +1,107 @@
+//! Figure 10: quad-core workloads sharing an 8 MB LLC.
+
+use super::Context;
+use crate::runner::{
+    isolated_ipcs, merged_stream, record_mix, run_mix_policy, MixResult, PolicyKind,
+};
+use crate::table::{f3, gmean, TextTable};
+use sdbp_workloads::mixes;
+
+/// Policies of Figure 10(a): LRU-default techniques.
+fn lru_policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Tdbp,
+        PolicyKind::Cdbp,
+        PolicyKind::Tadip,
+        PolicyKind::Rrip, // TA-DRRIP with 4 cores
+        PolicyKind::Sampler,
+    ]
+}
+
+/// Policies of Figure 10(b): random-default techniques.
+fn random_policies() -> Vec<PolicyKind> {
+    vec![PolicyKind::Random, PolicyKind::RandomCdbp, PolicyKind::RandomSampler]
+}
+
+struct MixRun {
+    name: &'static str,
+    baseline: MixResult,
+    results: Vec<MixResult>,
+}
+
+fn run_all(ctx: &Context, policies: &[PolicyKind]) -> Vec<MixRun> {
+    let llc = ctx.llc_shared();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = mixes()
+            .into_iter()
+            .map(|mix| {
+                let store = ctx.store.clone();
+                let policies = policies.to_vec();
+                scope.spawn(move || {
+                    let workloads = record_mix(&store, &mix);
+                    let merged = merged_stream(&workloads);
+                    let singles = isolated_ipcs(&workloads, llc);
+                    let baseline =
+                        run_mix_policy(&workloads, &merged, &singles, &PolicyKind::Lru, llc);
+                    let results = policies
+                        .iter()
+                        .map(|p| run_mix_policy(&workloads, &merged, &singles, p, llc))
+                        .collect::<Vec<_>>();
+                    MixRun { name: mix.name, baseline, results }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("mix thread")).collect()
+    })
+}
+
+fn speedup_table(runs: &[MixRun], policies: &[PolicyKind]) -> String {
+    let mut header = vec!["Mix".into()];
+    header.extend(policies.iter().map(|p| p.label().to_owned()));
+    let mut t = TextTable::new(header);
+    let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+    for run in runs {
+        let mut cells = vec![run.name.to_owned()];
+        for (i, r) in run.results.iter().enumerate() {
+            let s = r.weighted_ipc / run.baseline.weighted_ipc;
+            per_policy[i].push(s);
+            cells.push(f3(s));
+        }
+        t.row(cells);
+    }
+    let mut means = vec!["gmean".to_owned()];
+    for s in &per_policy {
+        means.push(f3(gmean(s)));
+    }
+    t.row(means);
+    t.render()
+}
+
+fn mpki_summary(runs: &[MixRun], policies: &[PolicyKind]) -> String {
+    let mut parts = Vec::new();
+    for (i, p) in policies.iter().enumerate() {
+        let norm: Vec<f64> = runs
+            .iter()
+            .map(|r| r.results[i].misses as f64 / r.baseline.misses.max(1) as f64)
+            .collect();
+        parts.push(format!("{} {:.2}", p.label(), crate::table::amean(&norm)));
+    }
+    parts.join(", ")
+}
+
+/// Runs both halves of Figure 10 and the §VII-D normalized-MPKI summary.
+pub fn fig10(ctx: &Context) -> String {
+    let lru_pols = lru_policies();
+    let lru_runs = run_all(ctx, &lru_pols);
+    let rand_pols = random_policies();
+    let rand_runs = run_all(ctx, &rand_pols);
+    format!(
+        "Figure 10: quad-core normalized weighted speedup, 8MB shared LLC\n\n\
+         (a) default LRU\n{}\n(b) default random\n{}\n\
+         Average normalized MPKI (LRU baseline = 1.0): {}; {}\n",
+        speedup_table(&lru_runs, &lru_pols),
+        speedup_table(&rand_runs, &rand_pols),
+        mpki_summary(&lru_runs, &lru_pols),
+        mpki_summary(&rand_runs, &rand_pols),
+    )
+}

@@ -1,0 +1,18 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! The `sdbp-repro` binary dispatches to one experiment module per paper
+//! artifact; the [`runner`] module holds the shared machinery (recording,
+//! policy factories, replay + timing, multi-core weighted speedup) and
+//! [`table`] the plain-text table renderer used for all output.
+//!
+//! Run `cargo run --release -p sdbp-harness --bin sdbp-repro -- list` for
+//! the experiment index.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod runner;
+pub mod table;
+
+pub use runner::{PolicyKind, RecordStore, SingleResult};

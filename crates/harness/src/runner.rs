@@ -1,0 +1,376 @@
+//! Shared experiment machinery: policy factories, workload recording with
+//! caching, single-core replay + timing, and the multi-core weighted
+//! speedup pipeline.
+
+use sdbp::config::SdbpConfig;
+use sdbp::policies;
+use sdbp_cache::policy::{Lru, ReplacementPolicy};
+use sdbp_cache::recorder::{merge_llc_streams, record_for_core, LlcAccess, RecordedWorkload};
+use sdbp_cache::replay::{replay, split_hits_by_core};
+use sdbp_cache::{CacheConfig, CacheStats};
+use sdbp_cpu::CoreModel;
+use sdbp_replacement::{Dip, Drrip, Random, Tadip};
+use sdbp_workloads::{instructions, Benchmark, Mix};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Seed for randomized policies, fixed for reproducibility.
+const SEED: u64 = 0xd1ce;
+
+/// Every policy the experiment matrix uses, as a buildable description.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PolicyKind {
+    /// True LRU (the baseline).
+    Lru,
+    /// Random replacement.
+    Random,
+    /// Dynamic insertion policy.
+    Dip,
+    /// Thread-aware DIP (multi-core).
+    Tadip,
+    /// DRRIP (single-core "RRIP") / TA-DRRIP (multi-core).
+    Rrip,
+    /// Reftrace-driven DBRB over LRU (TDBP).
+    Tdbp,
+    /// Counting-predictor DBRB over LRU (CDBP).
+    Cdbp,
+    /// Sampling-predictor DBRB over LRU (the paper's "Sampler").
+    Sampler,
+    /// Sampling-predictor DBRB over random replacement.
+    RandomSampler,
+    /// Counting-predictor DBRB over random replacement.
+    RandomCdbp,
+    /// An SDBP ablation variant over LRU, with a display label.
+    SamplerVariant(&'static str, SdbpConfig),
+    /// Extension: burst-filtered reftrace DBRB over LRU (paper §II-A3).
+    TdbpBursts,
+    /// Extension: Access Interval Predictor DBRB over LRU.
+    Aip,
+    /// Extension: SDBP over a default SRRIP cache (policy independence).
+    SamplerOverSrrip,
+}
+
+impl PolicyKind {
+    /// Display name used in result tables (Table V's abbreviations).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "LRU",
+            PolicyKind::Random => "Random",
+            PolicyKind::Dip => "DIP",
+            PolicyKind::Tadip => "TADIP",
+            PolicyKind::Rrip => "RRIP",
+            PolicyKind::Tdbp => "TDBP",
+            PolicyKind::Cdbp => "CDBP",
+            PolicyKind::Sampler => "Sampler",
+            PolicyKind::RandomSampler => "Random Sampler",
+            PolicyKind::RandomCdbp => "Random CDBP",
+            PolicyKind::SamplerVariant(label, _) => label,
+            PolicyKind::TdbpBursts => "TDBP-bursts",
+            PolicyKind::Aip => "AIP",
+            PolicyKind::SamplerOverSrrip => "Sampler/SRRIP",
+        }
+    }
+
+    /// Builds the policy for an LLC of geometry `llc` shared by `cores`.
+    pub fn build(&self, llc: CacheConfig, cores: usize) -> Box<dyn ReplacementPolicy> {
+        match self {
+            PolicyKind::Lru => Box::new(Lru::new(llc.sets, llc.ways)),
+            PolicyKind::Random => Box::new(Random::new(llc, SEED)),
+            PolicyKind::Dip => Box::new(Dip::new(llc, SEED)),
+            PolicyKind::Tadip => Box::new(Tadip::new(llc, cores, SEED)),
+            PolicyKind::Rrip => Box::new(Drrip::new(llc, cores, SEED)),
+            PolicyKind::Tdbp => policies::tdbp(llc),
+            PolicyKind::Cdbp => policies::cdbp(llc),
+            PolicyKind::Sampler => policies::sampler_lru(llc),
+            PolicyKind::RandomSampler => policies::sampler_random(llc),
+            PolicyKind::RandomCdbp => policies::cdbp_random(llc),
+            PolicyKind::SamplerVariant(_, cfg) => policies::sampler_with_config(llc, *cfg),
+            PolicyKind::TdbpBursts => {
+                use sdbp_predictors::dbrb::{DbrbConfig, DeadBlockReplacement};
+                use sdbp_predictors::reftrace::{BurstMode, RefTrace};
+                Box::new(DeadBlockReplacement::new(
+                    llc,
+                    Box::new(Lru::new(llc.sets, llc.ways)),
+                    RefTrace::with_mode(llc, BurstMode::Bursts),
+                    DbrbConfig::default(),
+                ))
+            }
+            PolicyKind::Aip => {
+                use sdbp_predictors::counting::Aip;
+                use sdbp_predictors::dbrb::{DbrbConfig, DeadBlockReplacement};
+                Box::new(DeadBlockReplacement::new(
+                    llc,
+                    Box::new(Lru::new(llc.sets, llc.ways)),
+                    Aip::new(llc),
+                    DbrbConfig::default(),
+                ))
+            }
+            PolicyKind::SamplerOverSrrip => {
+                use sdbp::predictor::SamplingPredictor;
+                use sdbp_predictors::dbrb::{DbrbConfig, DeadBlockReplacement};
+                use sdbp_replacement::Srrip;
+                Box::new(DeadBlockReplacement::new(
+                    llc,
+                    Box::new(Srrip::new(llc)),
+                    SamplingPredictor::paper(llc),
+                    DbrbConfig::default(),
+                ))
+            }
+        }
+    }
+
+    /// The policy set of Figures 4/5 (LRU-default single-core comparison).
+    pub fn lru_comparison() -> Vec<PolicyKind> {
+        vec![
+            PolicyKind::Tdbp,
+            PolicyKind::Cdbp,
+            PolicyKind::Dip,
+            PolicyKind::Rrip,
+            PolicyKind::Sampler,
+        ]
+    }
+
+    /// The policy set of Figures 7/8 (random-default single-core).
+    pub fn random_comparison() -> Vec<PolicyKind> {
+        vec![PolicyKind::Random, PolicyKind::RandomCdbp, PolicyKind::RandomSampler]
+    }
+
+    /// The Figure 6 ablation ladder, in the paper's plot order.
+    pub fn ablation_ladder() -> Vec<PolicyKind> {
+        vec![
+            PolicyKind::SamplerVariant("DBRB alone", SdbpConfig::dbrb_alone()),
+            PolicyKind::SamplerVariant("DBRB+3 tables", SdbpConfig::dbrb_skewed()),
+            PolicyKind::SamplerVariant("DBRB+sampler", SdbpConfig::sampler_only()),
+            PolicyKind::SamplerVariant("DBRB+sampler+3 tables", SdbpConfig::sampler_skewed()),
+            PolicyKind::SamplerVariant("DBRB+sampler+12-way", SdbpConfig::sampler_12way()),
+            PolicyKind::SamplerVariant("DBRB+sampler+3 tables+12-way", SdbpConfig::paper()),
+        ]
+    }
+}
+
+/// Outcome of one (benchmark, policy) single-core run.
+#[derive(Clone, Debug)]
+pub struct SingleResult {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Policy label.
+    pub policy: &'static str,
+    /// LLC misses.
+    pub misses: u64,
+    /// Misses per kilo-instruction.
+    pub mpki: f64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Full cache statistics (including predictor counters).
+    pub stats: CacheStats,
+}
+
+/// A process-wide cache of recorded workloads, so the expensive
+/// record-once pass is shared across experiments and policies.
+/// Map from (benchmark name, core id) to its recording.
+type RecordMap = HashMap<(String, u8), Arc<RecordedWorkload>>;
+
+/// A process-wide cache of recorded workloads, so the expensive
+/// record-once pass is shared across experiments and policies.
+#[derive(Clone, Debug, Default)]
+pub struct RecordStore {
+    inner: Arc<Mutex<RecordMap>>,
+}
+
+impl RecordStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records (or fetches the cached recording of) `bench` for `core`.
+    pub fn record(&self, bench: &Benchmark, core: u8) -> Arc<RecordedWorkload> {
+        let key = (bench.name.to_owned(), core);
+        if let Some(w) = self.inner.lock().expect("record store poisoned").get(&key) {
+            return Arc::clone(w);
+        }
+        let n = instructions();
+        let trace = bench.trace_seeded(u64::from(core));
+        let recorded = Arc::new(record_for_core(bench.name, trace, n, core));
+        self.inner
+            .lock()
+            .expect("record store poisoned")
+            .entry(key)
+            .or_insert(recorded)
+            .clone()
+    }
+}
+
+/// Replays `policy` over a recorded single-core workload and computes IPC.
+pub fn run_policy(
+    workload: &RecordedWorkload,
+    policy: &PolicyKind,
+    llc: CacheConfig,
+) -> SingleResult {
+    let mut cache = sdbp_cache::Cache::with_policy(llc, policy.build(llc, 1));
+    let result = replay(&workload.llc, &mut cache);
+    let timing = CoreModel::default().simulate(&workload.records, &result.hits);
+    SingleResult {
+        benchmark: workload.name.clone(),
+        policy: policy.label(),
+        misses: result.stats.misses,
+        mpki: result.stats.mpki(workload.instructions()),
+        ipc: timing.ipc(),
+        stats: result.stats,
+    }
+}
+
+/// Runs a list of policies for every benchmark, in parallel across
+/// benchmarks. Results are grouped per benchmark, in suite order.
+pub fn run_matrix(
+    store: &RecordStore,
+    benchmarks: &[Benchmark],
+    policies: &[PolicyKind],
+    llc: CacheConfig,
+) -> Vec<Vec<SingleResult>> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = benchmarks
+            .iter()
+            .map(|bench| {
+                let store = store.clone();
+                scope.spawn(move || {
+                    let w = store.record(bench, 0);
+                    policies.iter().map(|p| run_policy(&w, p, llc)).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("benchmark thread panicked")).collect()
+    })
+}
+
+/// Outcome of one (mix, policy) quad-core run.
+#[derive(Clone, Debug)]
+pub struct MixResult {
+    /// Mix name.
+    pub mix: String,
+    /// Policy label.
+    pub policy: &'static str,
+    /// Weighted speedup `Σ IPC_i / SingleIPC_i` (not yet normalised).
+    pub weighted_ipc: f64,
+    /// Total LLC misses across cores.
+    pub misses: u64,
+    /// Total instructions across cores.
+    pub instructions: u64,
+}
+
+impl MixResult {
+    /// Aggregate MPKI over all cores.
+    pub fn mpki(&self) -> f64 {
+        self.misses as f64 * 1000.0 / self.instructions as f64
+    }
+}
+
+/// Merges the members' LLC streams into the shared-LLC access order
+/// (policy independent; compute once per mix).
+pub fn merged_stream(workloads: &[Arc<RecordedWorkload>]) -> Vec<LlcAccess> {
+    let streams: Vec<&[LlcAccess]> = workloads.iter().map(|w| w.llc.as_slice()).collect();
+    merge_llc_streams(&streams)
+}
+
+/// Runs one policy on one quad-core mix over an 8 MB shared LLC.
+///
+/// `merged` is the shared-LLC stream from [`merged_stream`]; `single_ipcs`
+/// are the members' isolated IPCs (8 MB LRU), computed once per mix via
+/// [`isolated_ipcs`].
+pub fn run_mix_policy(
+    workloads: &[Arc<RecordedWorkload>],
+    merged: &[LlcAccess],
+    single_ipcs: &[f64],
+    policy: &PolicyKind,
+    llc: CacheConfig,
+) -> MixResult {
+    let cores = workloads.len();
+    let mut cache = sdbp_cache::Cache::with_policy(llc, policy.build(llc, cores));
+    let result = replay(merged, &mut cache);
+    let per_core_hits = split_hits_by_core(merged, &result.hits, cores);
+    let model = CoreModel::default();
+    let ipcs: Vec<f64> = workloads
+        .iter()
+        .zip(&per_core_hits)
+        .map(|(w, hits)| model.simulate(&w.records, hits).ipc())
+        .collect();
+    MixResult {
+        mix: String::new(),
+        policy: policy.label(),
+        weighted_ipc: sdbp_cpu::weighted_ipc(&ipcs, single_ipcs),
+        misses: result.stats.misses,
+        instructions: workloads.iter().map(|w| w.instructions()).sum(),
+    }
+}
+
+/// Isolated IPC of each mix member: the program running alone on an 8 MB
+/// LRU LLC (the paper's `SingleIPC_i`).
+pub fn isolated_ipcs(workloads: &[Arc<RecordedWorkload>], llc: CacheConfig) -> Vec<f64> {
+    workloads
+        .iter()
+        .map(|w| {
+            let mut cache = sdbp_cache::Cache::new(llc);
+            let r = replay(&w.llc, &mut cache);
+            CoreModel::default().simulate(&w.records, &r.hits).ipc()
+        })
+        .collect()
+}
+
+/// Records the four members of a mix (each on its own core id).
+pub fn record_mix(store: &RecordStore, mix: &Mix) -> Vec<Arc<RecordedWorkload>> {
+    mix.benchmarks()
+        .iter()
+        .enumerate()
+        .map(|(core, b)| store.record(b, core as u8))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdbp_workloads::benchmark;
+
+    fn small_env() -> RecordStore {
+        // Tests run with the default instruction budget unless the
+        // environment overrides it; keep runs tiny by truncating here.
+        RecordStore::new()
+    }
+
+    #[test]
+    fn policy_labels_are_unique_in_comparisons() {
+        let mut labels: Vec<&str> =
+            PolicyKind::lru_comparison().iter().map(|p| p.label()).collect();
+        labels.extend(PolicyKind::random_comparison().iter().map(|p| p.label()));
+        labels.extend(PolicyKind::ablation_ladder().iter().map(|p| p.label()));
+        let n = labels.len();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), n);
+    }
+
+    #[test]
+    fn record_store_caches() {
+        let store = small_env();
+        let b = benchmark("416.gamess").unwrap();
+        let a1 = store.record(&b, 0);
+        let a2 = store.record(&b, 0);
+        assert!(Arc::ptr_eq(&a1, &a2));
+        let other_core = store.record(&b, 1);
+        assert!(!Arc::ptr_eq(&a1, &other_core));
+    }
+
+    #[test]
+    fn every_policy_kind_builds() {
+        let llc = CacheConfig::new(256, 16);
+        let mut kinds = PolicyKind::lru_comparison();
+        kinds.extend(PolicyKind::random_comparison());
+        kinds.extend(PolicyKind::ablation_ladder());
+        kinds.push(PolicyKind::Lru);
+        kinds.push(PolicyKind::Tadip);
+        for k in kinds {
+            let p = k.build(llc, 4);
+            assert!(!p.name().is_empty());
+            assert!(!k.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Belady's MIN replacement extended with optimal bypass (paper §VI-B).
+//!
+//! Given the complete (recorded) LLC reference stream, MIN evicts the block
+//! whose next use is farthest in the future. The paper enhances it with a
+//! bypass rule: if the incoming block's next access lies beyond the next
+//! accesses of *every* block in the set, the block is not placed at all.
+//! The paper reports miss counts (not speedups) for this policy, as do we.
+//!
+//! Implementation: one backward pass over the stream links each access to
+//! the same block's next access ([`next_use_distances`]); a forward pass
+//! then simulates each set exactly ([`simulate`]).
+//!
+//! # Example
+//!
+//! ```
+//! use sdbp_cache::{CacheConfig, recorder::LlcAccess};
+//! use sdbp_trace::{AccessKind, BlockAddr, Pc};
+//! let a = |b: u64| LlcAccess {
+//!     pc: Pc::new(0), block: BlockAddr::new(b),
+//!     kind: AccessKind::Read, core: 0, instr: 0,
+//! };
+//! // Single set, 1 way: [0, 1, 0] — MIN bypasses block 1.
+//! let stream = vec![a(0), a(1), a(0)];
+//! let r = sdbp_optimal::simulate(&stream, CacheConfig::new(1, 1));
+//! assert_eq!(r.misses, 2);
+//! assert_eq!(r.bypasses, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use sdbp_cache::recorder::LlcAccess;
+use sdbp_cache::CacheConfig;
+use std::collections::HashMap;
+
+/// Sentinel meaning "never referenced again".
+pub const NEVER: u64 = u64::MAX;
+
+/// Result of an optimal-policy simulation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OptimalResult {
+    /// Accesses presented.
+    pub accesses: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Misses (compulsory + capacity/conflict under MIN).
+    pub misses: u64,
+    /// Misses whose block was not placed (optimal bypass).
+    pub bypasses: u64,
+}
+
+impl OptimalResult {
+    /// Misses per kilo-instruction for a run of `instructions` instructions.
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        assert!(instructions > 0, "instruction count must be positive");
+        self.misses as f64 * 1000.0 / instructions as f64
+    }
+}
+
+/// For each access, the index of the next access to the same block
+/// ([`NEVER`] if none). One backward pass, O(n) expected.
+pub fn next_use_distances(stream: &[LlcAccess]) -> Vec<u64> {
+    let mut next = vec![NEVER; stream.len()];
+    let mut last_seen: HashMap<u64, u64> = HashMap::new();
+    for (i, a) in stream.iter().enumerate().rev() {
+        let key = a.block.raw();
+        if let Some(&j) = last_seen.get(&key) {
+            next[i] = j;
+        }
+        last_seen.insert(key, i as u64);
+    }
+    next
+}
+
+/// Simulates MIN-with-bypass exactly over `stream` for an LLC of geometry
+/// `config` (the paper's optimal policy).
+pub fn simulate(stream: &[LlcAccess], config: CacheConfig) -> OptimalResult {
+    simulate_with_options(stream, config, true)
+}
+
+/// Classic Belady MIN without the bypass enhancement: every miss is
+/// placed, evicting the resident block reused farthest in the future.
+/// Comparing against [`simulate`] isolates the benefit of optimal bypass.
+pub fn simulate_no_bypass(stream: &[LlcAccess], config: CacheConfig) -> OptimalResult {
+    simulate_with_options(stream, config, false)
+}
+
+/// Shared implementation for the two optimal variants.
+pub fn simulate_with_options(
+    stream: &[LlcAccess],
+    config: CacheConfig,
+    bypass: bool,
+) -> OptimalResult {
+    let next = next_use_distances(stream);
+    // Per-set frames: (block, next_use).
+    let mut frames: Vec<Vec<(u64, u64)>> = vec![Vec::new(); config.sets];
+    let mut result =
+        OptimalResult { accesses: stream.len() as u64, hits: 0, misses: 0, bypasses: 0 };
+
+    for (i, a) in stream.iter().enumerate() {
+        let set = &mut frames[a.block.set_index(config.sets)];
+        let block = a.block.raw();
+        if let Some(f) = set.iter_mut().find(|f| f.0 == block) {
+            result.hits += 1;
+            f.1 = next[i];
+            continue;
+        }
+        result.misses += 1;
+        let incoming_next = next[i];
+        if set.len() < config.ways {
+            set.push((block, incoming_next));
+            continue;
+        }
+        // Full set: find the frame with the farthest next use.
+        let (victim_idx, &(_, victim_next)) = set
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, f)| f.1)
+            .expect("full set is non-empty");
+        if bypass && incoming_next >= victim_next {
+            // Incoming is re-used no sooner than every resident block:
+            // placing it cannot help. (Ties favour bypass: equal distances
+            // mean equal misses, and bypassing avoids a fill.)
+            result.bypasses += 1;
+        } else {
+            set[victim_idx] = (block, incoming_next);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdbp_trace::{AccessKind, BlockAddr, Pc};
+
+    fn acc(block: u64) -> LlcAccess {
+        LlcAccess {
+            pc: Pc::new(0),
+            block: BlockAddr::new(block),
+            kind: AccessKind::Read,
+            core: 0,
+            instr: 0,
+        }
+    }
+
+    fn stream(blocks: &[u64]) -> Vec<LlcAccess> {
+        blocks.iter().copied().map(acc).collect()
+    }
+
+    #[test]
+    fn next_use_links_are_correct() {
+        let s = stream(&[1, 2, 1, 3, 2, 1]);
+        assert_eq!(next_use_distances(&s), vec![2, 4, 5, NEVER, NEVER, NEVER]);
+    }
+
+    #[test]
+    fn all_hits_after_compulsory_when_everything_fits() {
+        let s = stream(&[0, 1, 2, 3, 0, 1, 2, 3]);
+        let r = simulate(&s, CacheConfig::new(2, 2));
+        assert_eq!(r.misses, 4);
+        assert_eq!(r.hits, 4);
+        assert_eq!(r.bypasses, 0);
+    }
+
+    #[test]
+    fn belady_beats_lru_on_cyclic_thrash() {
+        // Cyclic loop of 2N distinct blocks through an N-block cache:
+        // LRU gets 0 hits; MIN keeps N-1 blocks hitting every round.
+        let n = 8u64; // 1 set × 8 ways
+        let loop_blocks: Vec<u64> = (0..2 * n).collect();
+        let mut refs = Vec::new();
+        for _ in 0..50 {
+            refs.extend_from_slice(&loop_blocks);
+        }
+        let s = stream(&refs);
+        let r = simulate(&s, CacheConfig::new(1, n as usize));
+        // LRU baseline for comparison.
+        let mut lru = sdbp_cache::Cache::new(CacheConfig::new(1, n as usize));
+        let lru_res = sdbp_cache::replay(&s, &mut lru);
+        assert_eq!(lru_res.stats.hits, 0, "LRU must thrash");
+        // MIN retains n-1 of the 2n blocks: hit rate ≈ (n-1)/2n.
+        let expect = (50 * 2 * n) as f64 * ((n - 1) as f64 / (2 * n) as f64);
+        assert!(
+            (r.hits as f64) > 0.9 * expect,
+            "MIN hits {} far below expectation {expect}",
+            r.hits
+        );
+    }
+
+    #[test]
+    fn never_worse_than_lru_on_random_streams() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(31);
+        for trial in 0..10 {
+            let refs: Vec<u64> = (0..5_000).map(|_| rng.gen_range(0..300)).collect();
+            let s = stream(&refs);
+            let cfg = CacheConfig::new(8, 4);
+            let opt = simulate(&s, cfg);
+            let mut lru = sdbp_cache::Cache::new(cfg);
+            let lru_res = sdbp_cache::replay(&s, &mut lru);
+            assert!(
+                opt.misses <= lru_res.stats.misses,
+                "trial {trial}: MIN ({}) worse than LRU ({})",
+                opt.misses,
+                lru_res.stats.misses
+            );
+        }
+    }
+
+    #[test]
+    fn bypass_skips_never_reused_blocks() {
+        // Resident pair is reused forever; interleaved singles are not.
+        let mut refs = Vec::new();
+        for i in 0..100u64 {
+            refs.push(0);
+            refs.push(2);
+            refs.push(1000 + 2 * i); // same set (even), never again
+        }
+        let s = stream(&refs);
+        let r = simulate(&s, CacheConfig::new(2, 2));
+        // 0 and 2 miss once; every one-shot block misses and bypasses.
+        assert_eq!(r.misses, 2 + 100);
+        assert_eq!(r.bypasses, 100);
+        assert_eq!(r.hits, 198);
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let refs: Vec<u64> = (0..2_000).map(|_| rng.gen_range(0..500)).collect();
+        let s = stream(&refs);
+        let r = simulate(&s, CacheConfig::new(4, 4));
+        assert_eq!(r.hits + r.misses, r.accesses);
+        assert!(r.bypasses <= r.misses);
+        assert!(r.mpki(1_000_000) > 0.0);
+    }
+
+    #[test]
+    fn no_bypass_variant_never_bypasses_and_is_at_most_as_good() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(77);
+        let refs: Vec<u64> = (0..5_000).map(|_| rng.gen_range(0..400)).collect();
+        let s = stream(&refs);
+        let cfg = CacheConfig::new(8, 4);
+        let with = simulate(&s, cfg);
+        let without = simulate_no_bypass(&s, cfg);
+        assert_eq!(without.bypasses, 0);
+        assert!(with.misses <= without.misses, "bypass must never hurt MIN");
+        assert_eq!(without.hits + without.misses, s.len() as u64);
+    }
+
+    #[test]
+    fn bypass_benefit_appears_on_one_shot_pollution() {
+        // Resident pair + one-shot blocks: plain MIN still keeps the pair
+        // (it evicts the one-shots), so misses tie — but with a *window* of
+        // reuse distance exactly at capacity the bypass wins. Construct:
+        // three blocks cycling in a 2-way set plus never-reused pollution.
+        let mut refs = Vec::new();
+        for i in 0..200u64 {
+            refs.push(0);
+            refs.push(2);
+            refs.push(4); // 3 live blocks in a 2-way set: someone must go
+            refs.push(1000 + 2 * i); // one-shot
+        }
+        let s = stream(&refs);
+        let cfg = CacheConfig::new(1, 2);
+        let with = simulate(&s, cfg);
+        let without = simulate_no_bypass(&s, cfg);
+        assert!(with.misses <= without.misses);
+        assert!(with.bypasses > 0);
+    }
+
+    #[test]
+    fn empty_stream_is_empty_result() {
+        let r = simulate(&[], CacheConfig::new(4, 4));
+        assert_eq!(r, OptimalResult { accesses: 0, hits: 0, misses: 0, bypasses: 0 });
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the trace crate: every kernel respects its
+//! declared region and PC-slot bounds for arbitrary parameters, and trace
+//! composition is deterministic and well-formed.
+
+use proptest::prelude::*;
+use sdbp_trace::kernel::KernelSpec;
+use sdbp_trace::{Instr, TraceBuilder};
+
+fn arb_kernel() -> impl Strategy<Value = KernelSpec> {
+    prop_oneof![
+        (12u32..24, 1u32..5).prop_map(|(log2, touches)| {
+            KernelSpec::scan_burst(1 << log2, touches)
+        }),
+        (10u32..20).prop_map(|log2| KernelSpec::hot_set(1 << log2)),
+        (14u32..22, 2u32..8, 1usize..64).prop_map(|(log2, touches, slots)| {
+            KernelSpec::generational(1 << log2, touches, slots)
+        }),
+        (14u32..22, 2u32..8, 1usize..64).prop_map(|(log2, touches, slots)| {
+            KernelSpec::adversarial(1 << log2, touches, slots)
+        }),
+        (14u32..24).prop_map(|log2| KernelSpec::pointer_chase(1 << log2)),
+        (14u32..24, 0.0f64..0.9).prop_map(|(log2, r)| {
+            KernelSpec::pointer_chase_with_revisit(1 << log2, r)
+        }),
+        (16u32..24, 1u32..6, 1u32..6, 1u32..16).prop_map(|(log2, t1, t2, v)| {
+            KernelSpec::classed(1 << log2, 64, vec![(1.0, t1), (0.5, t2)]).variants(v)
+        }),
+        (16u32..24, 1u32..6, 2u32..9, 0.0f64..0.9).prop_map(|(log2, t1, t2, q)| {
+            KernelSpec::classed_ambiguous(1 << log2, 64, vec![(1.5, t1), (1.0, t2)])
+                .chained(q)
+        }),
+        (18u32..26, 0.05f64..0.95, 2.0f64..5000.0).prop_map(|(log2, reuse, depth)| {
+            KernelSpec::stack_distance(1 << log2, reuse, depth)
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kernels_respect_bounds_for_arbitrary_parameters(
+        spec in arb_kernel(),
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut kernel = spec.instantiate(&mut rng);
+        let region = kernel.region_bytes();
+        let slots = kernel.pc_slots();
+        for _ in 0..2_000 {
+            let step = kernel.step(&mut rng);
+            prop_assert!(step.region_offset < region,
+                "{spec:?} escaped region: {} >= {region}", step.region_offset);
+            prop_assert!(step.pc_slot < slots,
+                "{spec:?} used slot {} of {slots}", step.pc_slot);
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic_for_arbitrary_compositions(
+        kernels in prop::collection::vec(arb_kernel(), 1..5),
+        seed in any::<u64>(),
+        frac in 0.05f64..1.0,
+    ) {
+        let build = || {
+            TraceBuilder::new(seed)
+                .memory_fraction(frac)
+                .kernels(kernels.iter().cloned())
+                .build()
+                .take(3_000)
+                .collect::<Vec<Instr>>()
+        };
+        prop_assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn memory_fraction_is_approximately_respected(
+        seed in any::<u64>(),
+        frac in 0.1f64..0.9,
+    ) {
+        let trace = TraceBuilder::new(seed)
+            .memory_fraction(frac)
+            .kernel(KernelSpec::hot_set(1 << 14))
+            .build();
+        let n = 30_000;
+        let mem = trace.take(n).filter(Instr::is_mem).count() as f64 / n as f64;
+        prop_assert!((mem - frac).abs() < 0.03, "measured {mem} vs requested {frac}");
+    }
+
+    #[test]
+    fn kernel_addresses_never_cross_region_boundaries(
+        kernels in prop::collection::vec(arb_kernel(), 2..5),
+        seed in any::<u64>(),
+    ) {
+        // Every memory access must land in exactly one kernel's 64 MiB-
+        // aligned region band (regions are spaced at >= 64 MiB).
+        let trace = TraceBuilder::new(seed).kernels(kernels.clone()).build();
+        let mut bands: Vec<u64> = Vec::new();
+        for i in trace.take(5_000) {
+            if let Some(m) = i.mem {
+                let band = m.addr.raw() >> 26;
+                if !bands.contains(&band) {
+                    bands.push(band);
+                }
+            }
+        }
+        // No more bands than would cover the largest kernel in 64 MiB
+        // chunks, summed — a loose structural bound.
+        let max_chunks: u64 = kernels
+            .iter()
+            .map(|_| 16u64) // each kernel region <= 64 MiB in arb_kernel => 1 band, allow slack
+            .sum();
+        prop_assert!(bands.len() as u64 <= max_chunks);
+    }
+}

@@ -1,0 +1,141 @@
+//! Characterization guardrails: each benchmark must keep the qualitative
+//! LLC behaviour its SPEC namesake was chosen for. These tests pin the
+//! suite's tuning — if a generator edit breaks an archetype, they fail
+//! before the experiment shapes silently drift.
+
+use sdbp_cache::recorder::record;
+use sdbp_cache::replay::replay;
+use sdbp_cache::{Cache, CacheConfig};
+use sdbp_trace::stats::TraceStats;
+use sdbp_workloads::{benchmark, subset, suite};
+
+const N: u64 = 400_000;
+
+fn lru_stats(name: &str) -> (sdbp_cache::CacheStats, u64) {
+    let b = benchmark(name).unwrap();
+    let w = record(b.name, b.trace(), N);
+    let mut cache = Cache::new(CacheConfig::llc_2mb());
+    let r = replay(&w.llc, &mut cache);
+    (r.stats, w.instructions())
+}
+
+#[test]
+fn streaming_benchmarks_have_low_llc_hit_rates() {
+    for name in ["462.libquantum", "410.bwaves", "433.milc"] {
+        let (s, _) = lru_stats(name);
+        assert!(
+            s.hit_rate() < 0.45,
+            "{name}: hit rate {:.2} too high for a streaming benchmark",
+            s.hit_rate()
+        );
+    }
+}
+
+#[test]
+fn pointer_chasers_have_dependent_loads() {
+    for name in ["429.mcf", "471.omnetpp", "483.xalancbmk"] {
+        let b = benchmark(name).unwrap();
+        let stats = TraceStats::measure(b.trace().take(100_000));
+        assert!(
+            stats.dependent_loads * 10 > stats.mem_refs,
+            "{name}: only {} of {} refs dependent",
+            stats.dependent_loads,
+            stats.mem_refs
+        );
+    }
+}
+
+#[test]
+fn astar_is_hostile_to_aggressive_prediction() {
+    // The sampler must not *gain* much on astar (paper: everyone is hurt;
+    // the sampler merely minimizes damage).
+    let b = benchmark("473.astar").unwrap();
+    let w = record(b.name, b.trace(), N);
+    let llc = CacheConfig::llc_2mb();
+    let mut lru = Cache::new(llc);
+    let lru_misses = replay(&w.llc, &mut lru).stats.misses;
+    let mut tdbp = Cache::with_policy(llc, sdbp::policies::tdbp(llc));
+    let tdbp_misses = replay(&w.llc, &mut tdbp).stats.misses;
+    assert!(
+        tdbp_misses > lru_misses,
+        "astar must punish the reference-trace predictor ({tdbp_misses} vs {lru_misses})"
+    );
+}
+
+#[test]
+fn hmmer_rewards_dead_block_replacement() {
+    // A longer run than the other guardrails: the sampler needs evictions
+    // to train before its benefit shows.
+    let b = benchmark("456.hmmer").unwrap();
+    let w = record(b.name, b.trace(), 1_500_000);
+    let llc = CacheConfig::llc_2mb();
+    let mut lru = Cache::new(llc);
+    let lru_misses = replay(&w.llc, &mut lru).stats.misses;
+    let mut sdbp_cache_ = Cache::with_policy(llc, sdbp::policies::sampler_lru(llc));
+    let sdbp_misses = replay(&w.llc, &mut sdbp_cache_).stats.misses;
+    assert!(
+        (sdbp_misses as f64) < 0.95 * lru_misses as f64,
+        "hmmer must reward SDBP ({sdbp_misses} vs {lru_misses})"
+    );
+}
+
+#[test]
+fn insensitive_benchmarks_have_negligible_optimal_headroom() {
+    for name in ["416.gamess", "453.povray", "458.sjeng", "465.tonto"] {
+        let b = benchmark(name).unwrap();
+        let w = record(b.name, b.trace(), N);
+        let llc = CacheConfig::llc_2mb();
+        let mut lru = Cache::new(llc);
+        let lru_misses = replay(&w.llc, &mut lru).stats.misses;
+        let opt = sdbp_optimal::simulate(&w.llc, llc);
+        // "No significant reduction in misses even with optimal" (§VI-A1).
+        let reduction = 1.0 - opt.misses as f64 / lru_misses.max(1) as f64;
+        assert!(
+            reduction < 0.05,
+            "{name}: optimal headroom {reduction:.3} too large for an insensitive benchmark"
+        );
+    }
+}
+
+#[test]
+fn subset_benchmarks_have_meaningful_optimal_headroom() {
+    // Spot-check a spread of the subset rather than all 19 (test budget).
+    for name in ["400.perlbench", "434.zeusmp", "470.lbm", "482.sphinx3"] {
+        let b = benchmark(name).unwrap();
+        let w = record(b.name, b.trace(), N);
+        let llc = CacheConfig::llc_2mb();
+        let mut lru = Cache::new(llc);
+        let lru_misses = replay(&w.llc, &mut lru).stats.misses;
+        let opt = sdbp_optimal::simulate(&w.llc, llc);
+        let reduction = 1.0 - opt.misses as f64 / lru_misses.max(1) as f64;
+        assert!(
+            reduction > 0.01,
+            "{name}: subset member with only {reduction:.3} optimal headroom"
+        );
+    }
+}
+
+#[test]
+fn mixes_combine_distinct_memory_behaviours() {
+    // Every mix must contain at least one high-APKI member; mixes are
+    // cache-sensitivity-diverse by construction (Table IV).
+    for mix in sdbp_workloads::mixes() {
+        let max_apki = mix
+            .benchmarks()
+            .iter()
+            .map(|b| {
+                let w = record(b.name, b.trace(), 100_000);
+                w.llc_apki()
+            })
+            .fold(0.0f64, f64::max);
+        assert!(max_apki > 20.0, "{}: no memory-intensive member", mix.name);
+    }
+}
+
+#[test]
+fn suite_covers_both_sensitive_and_insensitive_classes() {
+    let s = suite();
+    assert_eq!(s.len(), 29);
+    assert_eq!(subset().len(), 19);
+    assert_eq!(s.iter().filter(|b| !b.in_subset).count(), 10);
+}

@@ -1,0 +1,17 @@
+//! Facade crate for the SDBP reproduction workspace.
+//!
+//! Re-exports every subsystem under one roof so examples and integration
+//! tests can `use sdbp_suite::...`. The individual crates remain the real
+//! public API; see the workspace [README](https://example.invalid/sdbp) and
+//! `DESIGN.md` for the system inventory.
+
+pub use sdbp;
+pub use sdbp_cache as cache;
+pub use sdbp_cpu as cpu;
+pub use sdbp_harness as harness;
+pub use sdbp_optimal as optimal;
+pub use sdbp_power as power;
+pub use sdbp_predictors as predictors;
+pub use sdbp_replacement as replacement;
+pub use sdbp_trace as trace;
+pub use sdbp_workloads as workloads;
