@@ -3,7 +3,7 @@
 //! bench run doubles as a quick ablation report. (The full sweeps live in
 //! `sdbp-repro ablation`.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sdbp_bench::{criterion_group, criterion_main, Criterion};
 use sdbp::config::{SamplerConfig, SdbpConfig, TableConfig};
 use sdbp::policies;
 use sdbp_bench::bench_workload;

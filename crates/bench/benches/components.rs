@@ -2,9 +2,8 @@
 //! access, skewed tables, the lean LRU array, the timing model, the trace
 //! generator, and Belady preprocessing.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use sdbp_bench::{criterion_group, criterion_main, Criterion, Throughput};
+use sdbp_trace::rng::Rng64;
 use sdbp::config::{SamplerConfig, TableConfig};
 use sdbp::sampler::Sampler;
 use sdbp::tables::SkewedTables;
@@ -20,12 +19,12 @@ use std::hint::black_box;
 const N: u64 = 100_000;
 
 fn cache_access_throughput(c: &mut Criterion) {
-    let mut rng = SmallRng::seed_from_u64(1);
+    let mut rng = Rng64::seed_from_u64(1);
     let accesses: Vec<Access> = (0..N)
         .map(|_| {
             Access::demand(
-                Pc::new(rng.gen_range(0..256) * 4),
-                BlockAddr::new(rng.gen_range(0..100_000)),
+                Pc::new(rng.gen_range(0u64..256) * 4),
+                BlockAddr::new(rng.gen_range(0u64..100_000)),
                 AccessKind::Read,
                 0,
             )
@@ -53,9 +52,9 @@ fn cache_access_throughput(c: &mut Criterion) {
 }
 
 fn sampler_access_throughput(c: &mut Criterion) {
-    let mut rng = SmallRng::seed_from_u64(2);
+    let mut rng = Rng64::seed_from_u64(2);
     let inputs: Vec<(BlockAddr, Pc)> = (0..N)
-        .map(|_| (BlockAddr::new(rng.gen::<u64>() >> 20), Pc::new(rng.gen_range(0..512) * 4)))
+        .map(|_| (BlockAddr::new(rng.next_u64() >> 20), Pc::new(rng.gen_range(0u64..512) * 4)))
         .collect();
     let mut group = c.benchmark_group("sampler");
     group.throughput(Throughput::Elements(N));

@@ -2,7 +2,7 @@
 //! path that regenerates the artifact, at a reduced instruction budget.
 //! (Full-scale outputs come from `sdbp-repro`.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sdbp_bench::{criterion_group, criterion_main, Criterion};
 use sdbp::config::SdbpConfig;
 use sdbp::policies;
 use sdbp_bench::{bench_mix, bench_workload};

@@ -1,4 +1,4 @@
-//! Shared fixtures for the Criterion benches.
+//! Shared fixtures and the offline micro-bench harness.
 //!
 //! Every paper artifact has a corresponding bench in `benches/
 //! paper_artifacts.rs` that exercises the code path regenerating it, at a
@@ -6,8 +6,20 @@
 //! full-scale numbers come from the `sdbp-repro` binary. `benches/
 //! components.rs` micro-benchmarks the core data structures and
 //! `benches/ablations.rs` times the design-choice variants of DESIGN.md §5.
+//!
+//! The benches compile only with `--features criterion` and run on the
+//! in-repo harness in [`micro`] (a Criterion-shaped API over `std` timing
+//! — the sandbox builds offline, so criterion itself is not a dependency):
+//!
+//! ```sh
+//! cargo bench -p sdbp-bench --features criterion
+//! ```
 
 #![warn(missing_docs)]
+
+pub mod micro;
+
+pub use micro::{Bencher, Criterion, Throughput};
 
 use sdbp_cache::recorder::{record_for_core, RecordedWorkload};
 use sdbp_workloads::benchmark;

@@ -195,13 +195,13 @@ mod tests {
     fn agrees_with_policy_cache_on_random_stream() {
         use crate::cache::Cache;
         use crate::policy::Access;
-        use rand::{Rng, SeedableRng};
+        use sdbp_trace::rng::Rng64;
         use sdbp_trace::{AccessKind, Pc};
 
         let cfg = CacheConfig::new(8, 4);
         let mut fast = LruArray::new(cfg);
         let mut slow = Cache::new(cfg);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
+        let mut rng = Rng64::seed_from_u64(99);
         for _ in 0..20_000 {
             let block = BlockAddr::new(rng.gen_range(0..200));
             let write = rng.gen_bool(0.3);

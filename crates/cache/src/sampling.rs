@@ -53,7 +53,7 @@ impl SetSampledEstimator {
     pub fn offer(&mut self, access: &LlcAccess) {
         self.total_accesses += 1;
         let set = access.block.set_index(self.config.sets);
-        if set % self.stride != 0 {
+        if !set.is_multiple_of(self.stride) {
             return;
         }
         self.sampled_accesses += 1;

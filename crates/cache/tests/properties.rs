@@ -1,74 +1,84 @@
-//! Property-based tests for the cache substrate.
+//! Property-style tests for the cache substrate, driven by the in-repo
+//! deterministic RNG (fixed seeds, exact reproduction, offline build).
 
-use proptest::prelude::*;
 use sdbp_cache::full::{FullHierarchy, FullHierarchyConfig, Inclusion};
 use sdbp_cache::lru::LruArray;
 use sdbp_cache::policy::Access;
 use sdbp_cache::{Cache, CacheConfig};
+use sdbp_trace::rng::Rng64;
 use sdbp_trace::{AccessKind, Addr, BlockAddr, Instr, MemRef, Pc};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// set_index/tag decompose and reassemble any block address for any
-    /// power-of-two geometry.
-    #[test]
-    fn set_and_tag_reassemble(block in any::<u64>(), log2_sets in 0u32..20) {
+/// set_index/tag decompose and reassemble any block address for any
+/// power-of-two geometry.
+#[test]
+fn set_and_tag_reassemble() {
+    let mut rng = Rng64::seed_from_u64(0xcac_0001);
+    for _ in 0..CASES * 8 {
+        let block = rng.next_u64();
+        let log2_sets = rng.gen_range(0u32..20);
         let sets = 1usize << log2_sets;
         let b = BlockAddr::new(block);
         let set = b.set_index(sets) as u64;
         let tag = b.tag(sets);
-        prop_assert_eq!((tag << log2_sets) | set, block);
+        assert_eq!((tag << log2_sets) | set, block);
     }
+}
 
-    /// The lean LRU array and the policy-driven cache with the LRU policy
-    /// agree on every access of any stream.
-    #[test]
-    fn lean_and_policy_lru_agree(
-        accesses in prop::collection::vec((0u64..512, any::<bool>()), 1..800),
-        log2_sets in 0u32..5,
-        ways in 1usize..9,
-    ) {
-        let cfg = CacheConfig::new(1 << log2_sets, ways);
+/// The lean LRU array and the policy-driven cache with the LRU policy
+/// agree on every access of any stream.
+#[test]
+fn lean_and_policy_lru_agree() {
+    let mut rng = Rng64::seed_from_u64(0xcac_0002);
+    for _ in 0..CASES {
+        let cfg = CacheConfig::new(1 << rng.gen_range(0u32..5), rng.gen_range(1usize..9));
+        let accesses: Vec<(u64, bool)> = (0..rng.gen_range(1usize..800))
+            .map(|_| (rng.gen_range(0u64..512), rng.gen_bool(0.5)))
+            .collect();
         let mut lean = LruArray::new(cfg);
         let mut policy = Cache::new(cfg);
         for &(block, write) in &accesses {
             let kind = if write { AccessKind::Write } else { AccessKind::Read };
             let a = Access::demand(Pc::new(0), BlockAddr::new(block), kind, 0);
             let lean_hit = lean.access(BlockAddr::new(block), write).hit;
-            prop_assert_eq!(lean_hit, policy.access(&a).is_hit());
+            assert_eq!(lean_hit, policy.access(&a).is_hit());
         }
-        prop_assert_eq!(lean.hits(), policy.stats().hits);
+        assert_eq!(lean.hits(), policy.stats().hits);
     }
+}
 
-    /// LRU residency never exceeds ways per set, and contains() agrees
-    /// with observed outcomes.
-    #[test]
-    fn residency_is_bounded_by_capacity(
-        accesses in prop::collection::vec(0u64..256, 1..600),
-        ways in 1usize..6,
-    ) {
+/// LRU residency never exceeds ways per set, and contains() agrees with
+/// observed outcomes.
+#[test]
+fn residency_is_bounded_by_capacity() {
+    let mut rng = Rng64::seed_from_u64(0xcac_0003);
+    for _ in 0..CASES / 2 {
+        let ways = rng.gen_range(1usize..6);
+        let accesses: Vec<u64> =
+            (0..rng.gen_range(1usize..600)).map(|_| rng.gen_range(0u64..256)).collect();
         let cfg = CacheConfig::new(4, ways);
         let mut cache = Cache::new(cfg);
         for &b in &accesses {
             cache.access(&Access::demand(Pc::new(0), BlockAddr::new(b), AccessKind::Read, 0));
-            let resident = (0u64..256)
-                .filter(|&x| cache.contains(BlockAddr::new(x)))
-                .count();
-            prop_assert!(resident <= cfg.lines());
+            let resident =
+                (0u64..256).filter(|&x| cache.contains(BlockAddr::new(x))).count();
+            assert!(resident <= cfg.lines());
         }
     }
+}
 
-    /// The full hierarchy's non-inclusive LLC statistics match
-    /// record+replay on arbitrary little instruction streams.
-    #[test]
-    fn full_hierarchy_matches_record_replay(
-        raws in prop::collection::vec((0u64..4096, any::<bool>(), any::<bool>()), 1..600),
-    ) {
-        let instrs: Vec<Instr> = raws
-            .iter()
-            .map(|&(block, write, is_mem)| {
-                if is_mem {
+/// The full hierarchy's non-inclusive LLC statistics match record+replay
+/// on arbitrary little instruction streams.
+#[test]
+fn full_hierarchy_matches_record_replay() {
+    let mut rng = Rng64::seed_from_u64(0xcac_0004);
+    for _ in 0..CASES {
+        let instrs: Vec<Instr> = (0..rng.gen_range(1usize..600))
+            .map(|_| {
+                let block = rng.gen_range(0u64..4096);
+                let write = rng.gen_bool(0.5);
+                if rng.gen_bool(0.5) {
                     let addr = Addr::new(block << 6);
                     let m = if write { MemRef::write(addr) } else { MemRef::read(addr) };
                     Instr::mem(Pc::new(0x400), m)
@@ -78,46 +88,47 @@ proptest! {
             })
             .collect();
         let llc_cfg = CacheConfig::new(32, 4);
-        let mut full =
-            FullHierarchy::new(FullHierarchyConfig::default(), Cache::new(llc_cfg));
+        let mut full = FullHierarchy::new(FullHierarchyConfig::default(), Cache::new(llc_cfg));
         for i in &instrs {
             full.execute(i);
         }
         let w = sdbp_cache::record("p", instrs.clone(), instrs.len() as u64);
         let mut cache = Cache::new(llc_cfg);
         let r = sdbp_cache::replay(&w.llc, &mut cache);
-        prop_assert_eq!(full.llc().stats().hits, r.stats.hits);
-        prop_assert_eq!(full.llc().stats().misses, r.stats.misses);
+        assert_eq!(full.llc().stats().hits, r.stats.hits);
+        assert_eq!(full.llc().stats().misses, r.stats.misses);
     }
+}
 
-    /// Inclusive hierarchies maintain the inclusion invariant on any
-    /// stream.
-    #[test]
-    fn inclusion_invariant_holds(
-        raws in prop::collection::vec(0u64..2048, 1..800),
-    ) {
+/// Inclusive hierarchies maintain the inclusion invariant on any stream.
+#[test]
+fn inclusion_invariant_holds() {
+    let mut rng = Rng64::seed_from_u64(0xcac_0005);
+    for _ in 0..CASES {
+        let raws: Vec<u64> =
+            (0..rng.gen_range(1usize..800)).map(|_| rng.gen_range(0u64..2048)).collect();
         let instrs: Vec<Instr> = raws
             .iter()
             .map(|&b| Instr::mem(Pc::new(0x400), MemRef::read(Addr::new(b << 6))))
             .collect();
-        let cfg = FullHierarchyConfig {
-            inclusion: Inclusion::Inclusive,
-            ..Default::default()
-        };
+        let cfg = FullHierarchyConfig { inclusion: Inclusion::Inclusive, ..Default::default() };
         // A tiny LLC maximizes back-invalidation pressure.
         let mut full = FullHierarchy::new(cfg, Cache::new(CacheConfig::new(8, 2)));
         for i in &instrs {
             full.execute(i);
         }
         let blocks = raws.iter().map(|&b| BlockAddr::new(b));
-        prop_assert!(full.inclusion_holds_for(blocks));
+        assert!(full.inclusion_holds_for(blocks));
     }
+}
 
-    /// Efficiency is always a valid ratio and zero-hit runs are fully dead.
-    #[test]
-    fn efficiency_is_a_valid_ratio(
-        blocks in prop::collection::vec(0u64..128, 2..400),
-    ) {
+/// Efficiency is always a valid ratio and zero-hit runs are fully dead.
+#[test]
+fn efficiency_is_a_valid_ratio() {
+    let mut rng = Rng64::seed_from_u64(0xcac_0006);
+    for _ in 0..CASES {
+        let blocks: Vec<u64> =
+            (0..rng.gen_range(2usize..400)).map(|_| rng.gen_range(0u64..128)).collect();
         let cfg = CacheConfig::new(4, 2);
         let mut cache = Cache::new(cfg);
         cache.track_efficiency();
@@ -126,6 +137,6 @@ proptest! {
         }
         cache.finish();
         let overall = cache.efficiency().unwrap().overall();
-        prop_assert!((0.0..=1.0).contains(&overall), "efficiency {overall}");
+        assert!((0.0..=1.0).contains(&overall), "efficiency {overall}");
     }
 }

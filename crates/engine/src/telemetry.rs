@@ -1,0 +1,105 @@
+//! Engine telemetry: per-job wall clock and queue wait, per-batch
+//! throughput and parallel speedup, and engine-wide counters, retained
+//! across batches so a whole harness invocation can be exported as one
+//! report.
+
+use crate::job::JobStats;
+use std::time::Duration;
+
+/// Summary of one executed batch.
+#[derive(Clone, Debug)]
+pub struct BatchStats {
+    /// The batch label passed to `Engine::run_batch`.
+    pub label: String,
+    /// Worker threads the batch actually used.
+    pub workers: usize,
+    /// Number of jobs submitted.
+    pub jobs: usize,
+    /// Number of jobs that panicked.
+    pub failed: usize,
+    /// Wall-clock time from submission to the last job finishing.
+    pub elapsed: Duration,
+    /// Sum of the jobs' individual execution times (the serial-equivalent
+    /// wall clock; `busy / elapsed` is the realized parallel speedup).
+    pub busy: Duration,
+    /// Sum of the jobs' declared access counts.
+    pub accesses: u64,
+    /// Per-job timing records, in submission order.
+    pub per_job: Vec<JobStats>,
+}
+
+impl BatchStats {
+    /// Realized parallel speedup: serial-equivalent time over elapsed.
+    pub fn speedup(&self) -> f64 {
+        let e = self.elapsed.as_secs_f64();
+        if e > 0.0 {
+            self.busy.as_secs_f64() / e
+        } else {
+            1.0
+        }
+    }
+
+    /// Aggregate simulation throughput in accesses per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        let e = self.elapsed.as_secs_f64();
+        if e > 0.0 {
+            self.accesses as f64 / e
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean time jobs spent waiting in the queue before starting.
+    pub fn mean_queue_wait(&self) -> Duration {
+        if self.per_job.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = self.per_job.iter().map(|j| j.queued_for).sum();
+        total / self.per_job.len() as u32
+    }
+}
+
+/// Counters accumulated over every batch an engine has run.
+#[derive(Clone, Default, Debug)]
+pub struct EngineTelemetry {
+    /// One record per completed batch, in execution order.
+    pub batches: Vec<BatchStats>,
+}
+
+impl EngineTelemetry {
+    /// Total jobs executed.
+    pub fn jobs(&self) -> usize {
+        self.batches.iter().map(|b| b.jobs).sum()
+    }
+
+    /// Total jobs that panicked.
+    pub fn failed(&self) -> usize {
+        self.batches.iter().map(|b| b.failed).sum()
+    }
+
+    /// Total wall-clock time spent inside `run_batch` calls.
+    pub fn elapsed(&self) -> Duration {
+        self.batches.iter().map(|b| b.elapsed).sum()
+    }
+
+    /// Total serial-equivalent execution time across all jobs.
+    pub fn busy(&self) -> Duration {
+        self.batches.iter().map(|b| b.busy).sum()
+    }
+
+    /// Total declared accesses across all jobs.
+    pub fn accesses(&self) -> u64 {
+        self.batches.iter().map(|b| b.accesses).sum()
+    }
+
+    /// Engine-wide realized speedup (batches run back to back, so this is
+    /// busy time over elapsed time).
+    pub fn speedup(&self) -> f64 {
+        let e = self.elapsed().as_secs_f64();
+        if e > 0.0 {
+            self.busy().as_secs_f64() / e
+        } else {
+            1.0
+        }
+    }
+}

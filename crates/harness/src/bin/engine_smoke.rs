@@ -1,0 +1,135 @@
+//! `engine-smoke` — the first machine-readable perf record of the repo.
+//!
+//! Runs one small experiment matrix twice — once on a serial engine, once
+//! on a parallel one — checks that the rendered results are byte-identical
+//! (the engine's deterministic-aggregation guarantee), and writes the
+//! serial-vs-parallel throughput comparison to `BENCH_engine_smoke.json`.
+//!
+//! ```text
+//! engine-smoke                         # auto worker count, default output
+//! engine-smoke --jobs 4
+//! engine-smoke --output target/BENCH_engine_smoke.json
+//! ```
+
+use sdbp_engine::{Engine, Parallelism};
+use sdbp_harness::runner::{run_matrix, PolicyKind, RecordStore, SingleResult};
+use sdbp_workloads::subset;
+use std::fmt::Write as _;
+
+/// Instruction budget per benchmark: small enough for a CI smoke run.
+const SMOKE_INSTRUCTIONS: u64 = 400_000;
+
+/// Renders a result matrix to a canonical string, byte-comparable across
+/// engine configurations.
+fn render(matrix: &[Vec<SingleResult>]) -> String {
+    let mut out = String::new();
+    for row in matrix {
+        for r in row {
+            let _ = writeln!(
+                out,
+                "{} {} misses={} mpki={:.6} ipc={:.6}",
+                r.benchmark, r.policy, r.misses, r.mpki, r.ipc
+            );
+        }
+    }
+    out
+}
+
+/// One measured run: fresh store, fresh engine, same workload matrix.
+fn measure(engine: &Engine) -> (String, f64, u64) {
+    let store = RecordStore::new();
+    let benchmarks: Vec<_> = subset().into_iter().take(8).collect();
+    let policies = vec![PolicyKind::Lru, PolicyKind::Cdbp, PolicyKind::Sampler];
+    let matrix = run_matrix(engine, &store, &benchmarks, &policies, sdbp_cache::CacheConfig::llc_2mb());
+    let t = engine.telemetry();
+    (render(&matrix), t.elapsed().as_secs_f64(), t.accesses())
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut output = String::from("BENCH_engine_smoke.json");
+    let mut workers: Option<usize> = None;
+    // Every arm either drains the matched args or exits, so the cursor
+    // stays at 0.
+    let i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--output" => {
+                output = args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--output needs a file path");
+                    std::process::exit(2);
+                });
+                args.drain(i..=i + 1);
+            }
+            "--jobs" => {
+                workers = args.get(i + 1).and_then(|v| v.parse().ok());
+                if workers.is_none() {
+                    eprintln!("--jobs needs a positive integer");
+                    std::process::exit(2);
+                }
+                args.drain(i..=i + 1);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if std::env::var("SDBP_INSTRUCTIONS").is_err() {
+        std::env::set_var("SDBP_INSTRUCTIONS", SMOKE_INSTRUCTIONS.to_string());
+    }
+
+    let serial = Engine::serial();
+    let (serial_out, serial_s, serial_accesses) = measure(&serial);
+
+    let parallel = match workers {
+        Some(n) => Engine::new(Parallelism::Workers(n)),
+        None => Engine::new(Parallelism::Auto),
+    };
+    let (parallel_out, parallel_s, parallel_accesses) = measure(&parallel);
+
+    let identical = serial_out == parallel_out;
+    let serial_tput = if serial_s > 0.0 { serial_accesses as f64 / serial_s } else { 0.0 };
+    let parallel_tput =
+        if parallel_s > 0.0 { parallel_accesses as f64 / parallel_s } else { 0.0 };
+    let speedup = if parallel_s > 0.0 { serial_s / parallel_s } else { 1.0 };
+
+    let json = format!(
+        "{{\n  \"schema\": \"sdbp-bench/v1\",\n  \"name\": \"engine_smoke\",\n  \
+         \"workers\": {},\n  \"serial\": {{\n    \"elapsed_s\": {:.6},\n    \
+         \"accesses\": {},\n    \"accesses_per_sec\": {:.1}\n  }},\n  \
+         \"parallel\": {{\n    \"elapsed_s\": {:.6},\n    \"accesses\": {},\n    \
+         \"accesses_per_sec\": {:.1}\n  }},\n  \"speedup\": {:.3},\n  \
+         \"identical_output\": {}\n}}\n",
+        parallel.workers(),
+        serial_s,
+        serial_accesses,
+        serial_tput,
+        parallel_s,
+        parallel_accesses,
+        parallel_tput,
+        speedup,
+        identical
+    );
+    if let Some(parent) = std::path::Path::new(&output).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    if let Err(e) = std::fs::write(&output, &json) {
+        eprintln!("cannot write {output}: {e}");
+        std::process::exit(1);
+    }
+
+    println!(
+        "engine smoke: serial {serial_s:.2}s ({serial_tput:.0} acc/s), parallel x{} \
+         {parallel_s:.2}s ({parallel_tput:.0} acc/s), speedup {speedup:.2}, identical: \
+         {identical} -> {output}",
+        parallel.workers()
+    );
+    if !identical {
+        eprintln!("error: parallel output differs from serial output");
+        std::process::exit(1);
+    }
+}

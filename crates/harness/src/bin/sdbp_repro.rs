@@ -9,11 +9,19 @@
 //! sdbp-repro all                       # run everything, in paper order
 //! sdbp-repro --instructions 16000000 fig4
 //! sdbp-repro --output results.txt all
+//! sdbp-repro --jobs 8 all              # 8 engine workers
+//! sdbp-repro --serial fig4             # single-threaded reference run
 //! ```
 //!
 //! The per-benchmark instruction budget defaults to 8M; override with
 //! `--instructions N` or the `SDBP_INSTRUCTIONS` environment variable.
+//! Simulations run through the `sdbp-engine` worker pool (one worker per
+//! hardware thread by default; `--jobs N` / `--serial` override). Results
+//! are aggregated in submission order, so the output is byte-identical
+//! for any worker count; engine telemetry is written to
+//! `target/engine-report.json` after the run.
 
+use sdbp_engine::{Engine, Parallelism};
 use sdbp_harness::experiments::{self, Context, ALL_EXPERIMENTS};
 use std::io::Write as _;
 use std::time::Instant;
@@ -21,10 +29,28 @@ use std::time::Instant;
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut output: Option<std::fs::File> = None;
-    // Flag parsing: --instructions N, --output FILE.
+    let mut parallelism = Parallelism::Auto;
+    // Flag parsing: --instructions N, --output FILE, --jobs N, --serial.
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--jobs" => {
+                let n = args.get(i + 1).and_then(|v| v.parse::<usize>().ok());
+                match n {
+                    Some(n) if n > 0 => {
+                        parallelism = Parallelism::Workers(n);
+                        args.drain(i..=i + 1);
+                    }
+                    _ => {
+                        eprintln!("--jobs needs a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--serial" => {
+                parallelism = Parallelism::Serial;
+                args.remove(i);
+            }
             "--instructions" => {
                 let n = args.get(i + 1).and_then(|v| v.parse::<u64>().ok());
                 match n {
@@ -62,7 +88,10 @@ fn main() {
         }
     }
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
-        eprintln!("usage: sdbp-repro [--instructions N] [--output FILE] [list | all | <experiment>...]");
+        eprintln!(
+            "usage: sdbp-repro [--instructions N] [--output FILE] [--jobs N | --serial] \
+             [list | all | <experiment>...]"
+        );
         eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
@@ -79,7 +108,13 @@ fn main() {
         args.iter().map(String::as_str).collect()
     };
 
-    let ctx = Context::new();
+    let engine = Engine::new(parallelism);
+    eprintln!(
+        "[engine: {} worker{}]",
+        engine.workers(),
+        if engine.workers() == 1 { "" } else { "s" }
+    );
+    let ctx = Context::with_engine(engine);
     let mut failed = false;
     for id in ids {
         let start = Instant::now();
@@ -97,6 +132,22 @@ fn main() {
                 eprintln!("error: {e}");
                 failed = true;
             }
+        }
+    }
+
+    let telemetry = ctx.engine.telemetry();
+    if telemetry.jobs() > 0 {
+        let report_path = std::path::Path::new(sdbp_engine::report::DEFAULT_REPORT_PATH);
+        match ctx.engine.write_report(report_path) {
+            Ok(()) => eprintln!(
+                "[engine: {} jobs, {:.1}s busy / {:.1}s wall ({:.2}x), report: {}]",
+                telemetry.jobs(),
+                telemetry.busy().as_secs_f64(),
+                telemetry.elapsed().as_secs_f64(),
+                telemetry.speedup(),
+                report_path.display()
+            ),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", report_path.display()),
         }
     }
     if failed {

@@ -13,7 +13,7 @@ fn sweep(ctx: &Context, variants: &[(&'static str, SdbpConfig)]) -> Vec<(String,
     policies.extend(
         variants.iter().map(|(label, cfg)| PolicyKind::SamplerVariant(label, *cfg)),
     );
-    let matrix = run_matrix(&ctx.store, &subset(), &policies, ctx.llc());
+    let matrix = run_matrix(&ctx.engine, &ctx.store, &subset(), &policies, ctx.llc());
     (0..variants.len())
         .map(|i| {
             let norms: Vec<f64> = matrix

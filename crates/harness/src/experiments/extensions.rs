@@ -7,6 +7,7 @@ use super::Context;
 use crate::runner::{run_matrix, PolicyKind, SingleResult};
 use crate::table::{amean, f3, TextTable};
 use sdbp::vvc::VirtualVictimCache;
+use sdbp_engine::Job;
 use sdbp_workloads::subset;
 
 fn normalized_means(matrix: &[Vec<SingleResult>]) -> Vec<(String, f64, f64)> {
@@ -40,7 +41,7 @@ pub fn run(ctx: &Context) -> String {
     ];
     let mut all = vec![PolicyKind::Lru];
     all.extend(policies);
-    let matrix = run_matrix(&ctx.store, &subset(), &all, ctx.llc());
+    let matrix = run_matrix(&ctx.engine, &ctx.store, &subset(), &all, ctx.llc());
     let mut t = TextTable::new(vec![
         "Policy".into(),
         "mean normalized misses".into(),
@@ -52,23 +53,19 @@ pub fn run(ctx: &Context) -> String {
     // Virtual victim cache (reference [10]): misses only (its cross-set
     // motion bypasses the timing-model hit map).
     let llc = ctx.llc();
-    let vvc_norms: Vec<f64> = std::thread::scope(|scope| {
-        subset()
-            .into_iter()
-            .map(|bench| {
-                let store = ctx.store.clone();
-                scope.spawn(move || {
-                    let w = store.record(&bench, 0);
-                    let vvc = VirtualVictimCache::run(&w.llc, llc);
-                    let lru = VirtualVictimCache::lru_baseline(&w.llc, llc);
-                    vvc.misses as f64 / lru.misses.max(1) as f64
-                })
+    let vvc_jobs: Vec<Job<'_, f64>> = subset()
+        .into_iter()
+        .map(|bench| {
+            let store = ctx.store.clone();
+            Job::new(format!("extensions/vvc/{}", bench.name), move || {
+                let w = store.record(&bench, 0);
+                let vvc = VirtualVictimCache::run(&w.llc, llc);
+                let lru = VirtualVictimCache::lru_baseline(&w.llc, llc);
+                vvc.misses as f64 / lru.misses.max(1) as f64
             })
-            .collect::<Vec<_>>()
-            .into_iter()
-            .map(|h| h.join().expect("bench thread"))
-            .collect()
-    });
+        })
+        .collect();
+    let vvc_norms = ctx.engine.run_batch("extensions/vvc", vvc_jobs).expect_all();
     format!(
         "Extensions: predictor variants under the same DBRB harness \
          (LRU baseline; 2MB LLC)\n\n{}\nVirtual victim cache (SDBP-driven, \

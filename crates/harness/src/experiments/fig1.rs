@@ -5,6 +5,7 @@ use super::Context;
 use crate::runner::PolicyKind;
 use sdbp_cache::replay::replay;
 use sdbp_cache::{Cache, CacheConfig};
+use sdbp_engine::Job;
 
 /// Characters from dead (dark in the paper) to live.
 const SHADES: [char; 5] = ['#', '+', '-', '.', ' '];
@@ -40,25 +41,21 @@ fn render_map(cache: &Cache) -> String {
 /// subset (the paper's §I headline: blocks are dead 86.2% of the time).
 fn suite_dead_fraction(ctx: &Context) -> f64 {
     let llc = CacheConfig::llc_2mb();
-    let effs: Vec<f64> = std::thread::scope(|scope| {
-        sdbp_workloads::subset()
-            .into_iter()
-            .map(|bench| {
-                let store = ctx.store.clone();
-                scope.spawn(move || {
-                    let w = store.record(&bench, 0);
-                    let mut cache = Cache::new(llc);
-                    cache.track_efficiency();
-                    let _ = replay(&w.llc, &mut cache);
-                    cache.finish();
-                    cache.efficiency().expect("tracking enabled").overall()
-                })
+    let jobs: Vec<Job<'_, f64>> = sdbp_workloads::subset()
+        .into_iter()
+        .map(|bench| {
+            let store = ctx.store.clone();
+            Job::new(format!("fig1/dead/{}", bench.name), move || {
+                let w = store.record(&bench, 0);
+                let mut cache = Cache::new(llc);
+                cache.track_efficiency();
+                let _ = replay(&w.llc, &mut cache);
+                cache.finish();
+                cache.efficiency().expect("tracking enabled").overall()
             })
-            .collect::<Vec<_>>()
-            .into_iter()
-            .map(|h| h.join().expect("bench thread"))
-            .collect()
-    });
+        })
+        .collect();
+    let effs = ctx.engine.run_batch("fig1/dead-fraction", jobs).expect_all();
     1.0 - effs.iter().sum::<f64>() / effs.len() as f64
 }
 

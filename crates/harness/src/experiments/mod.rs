@@ -9,13 +9,17 @@ pub mod tables;
 
 use crate::runner::{run_matrix, PolicyKind, RecordStore, SingleResult};
 use sdbp_cache::CacheConfig;
+use sdbp_engine::Engine;
 use sdbp_workloads::subset;
 use std::sync::OnceLock;
 
-/// Shared state for a harness invocation: the record store plus memoized
-/// result matrices, so `sdbp-repro all` never recomputes a run.
+/// Shared state for a harness invocation: the execution engine, the
+/// record store, and memoized result matrices, so `sdbp-repro all` never
+/// recomputes a run.
 #[derive(Debug, Default)]
 pub struct Context {
+    /// The execution engine every experiment submits its jobs through.
+    pub engine: Engine,
     /// Recorded workloads, shared across experiments.
     pub store: RecordStore,
     lru_matrix: OnceLock<Vec<Vec<SingleResult>>>,
@@ -24,9 +28,14 @@ pub struct Context {
 }
 
 impl Context {
-    /// Creates a fresh context.
+    /// Creates a fresh context with an auto-sized engine.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a context running every experiment through `engine`.
+    pub fn with_engine(engine: Engine) -> Self {
+        Context { engine, ..Self::default() }
     }
 
     /// The single-core LLC geometry (2 MB, 16-way).
@@ -45,7 +54,7 @@ impl Context {
         self.lru_matrix.get_or_init(|| {
             let mut policies = vec![PolicyKind::Lru];
             policies.extend(PolicyKind::lru_comparison());
-            run_matrix(&self.store, &subset(), &policies, self.llc())
+            run_matrix(&self.engine, &self.store, &subset(), &policies, self.llc())
         })
     }
 
@@ -55,7 +64,7 @@ impl Context {
         self.random_matrix.get_or_init(|| {
             let mut policies = vec![PolicyKind::Lru];
             policies.extend(PolicyKind::random_comparison());
-            run_matrix(&self.store, &subset(), &policies, self.llc())
+            run_matrix(&self.engine, &self.store, &subset(), &policies, self.llc())
         })
     }
 
@@ -64,7 +73,7 @@ impl Context {
         self.ablation_matrix.get_or_init(|| {
             let mut policies = vec![PolicyKind::Lru];
             policies.extend(PolicyKind::ablation_ladder());
-            run_matrix(&self.store, &subset(), &policies, self.llc())
+            run_matrix(&self.engine, &self.store, &subset(), &policies, self.llc())
         })
     }
 }

@@ -5,6 +5,7 @@ use crate::runner::{
     isolated_ipcs, merged_stream, record_mix, run_mix_policy, MixResult, PolicyKind,
 };
 use crate::table::{f3, gmean, TextTable};
+use sdbp_engine::Job;
 use sdbp_workloads::mixes;
 
 /// Policies of Figure 10(a): LRU-default techniques.
@@ -31,28 +32,26 @@ struct MixRun {
 
 fn run_all(ctx: &Context, policies: &[PolicyKind]) -> Vec<MixRun> {
     let llc = ctx.llc_shared();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = mixes()
-            .into_iter()
-            .map(|mix| {
-                let store = ctx.store.clone();
-                let policies = policies.to_vec();
-                scope.spawn(move || {
-                    let workloads = record_mix(&store, &mix);
-                    let merged = merged_stream(&workloads);
-                    let singles = isolated_ipcs(&workloads, llc);
-                    let baseline =
-                        run_mix_policy(&workloads, &merged, &singles, &PolicyKind::Lru, llc);
-                    let results = policies
-                        .iter()
-                        .map(|p| run_mix_policy(&workloads, &merged, &singles, p, llc))
-                        .collect::<Vec<_>>();
-                    MixRun { name: mix.name, baseline, results }
-                })
+    let jobs: Vec<Job<'_, MixRun>> = mixes()
+        .into_iter()
+        .map(|mix| {
+            let store = ctx.store.clone();
+            let policies = policies.to_vec();
+            Job::new(format!("fig10/{}", mix.name), move || {
+                let workloads = record_mix(&store, &mix);
+                let merged = merged_stream(&workloads);
+                let singles = isolated_ipcs(&workloads, llc);
+                let baseline =
+                    run_mix_policy(&workloads, &merged, &singles, &PolicyKind::Lru, llc);
+                let results = policies
+                    .iter()
+                    .map(|p| run_mix_policy(&workloads, &merged, &singles, p, llc))
+                    .collect::<Vec<_>>();
+                MixRun { name: mix.name, baseline, results }
             })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("mix thread")).collect()
-    })
+        })
+        .collect();
+    ctx.engine.run_batch("fig10", jobs).expect_all()
 }
 
 fn speedup_table(runs: &[MixRun], policies: &[PolicyKind]) -> String {

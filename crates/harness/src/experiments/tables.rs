@@ -5,6 +5,7 @@ use crate::runner::{merged_stream, record_mix, PolicyKind};
 use crate::table::{f3, TextTable};
 use sdbp_cache::replay::replay;
 use sdbp_cache::{Cache, CacheConfig};
+use sdbp_engine::Job;
 use sdbp_power::power::PowerModel;
 use sdbp_power::storage::{predictor_storage, PredictorKind};
 use sdbp_workloads::{mixes, suite};
@@ -79,31 +80,32 @@ pub fn table2() -> String {
     )
 }
 
+/// One Table III row: (benchmark, in subset, LRU MPKI, MIN MPKI, LRU IPC).
+type Table3Row = (String, bool, f64, f64, f64);
+
 /// Table III: per-benchmark MPKI (LRU), MPKI (optimal MIN+bypass) and IPC
 /// (LRU) on a 2 MB LLC, with the memory-intensive subset marked.
 pub fn table3(ctx: &Context) -> String {
     let llc = ctx.llc();
-    let rows: Vec<(String, bool, f64, f64, f64)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = suite()
-            .into_iter()
-            .map(|bench| {
-                let store = ctx.store.clone();
-                scope.spawn(move || {
-                    let w = store.record(&bench, 0);
-                    let lru = crate::runner::run_policy(&w, &PolicyKind::Lru, llc);
-                    let opt = sdbp_optimal::simulate(&w.llc, llc);
-                    (
-                        bench.name.to_owned(),
-                        bench.in_subset,
-                        lru.mpki,
-                        opt.mpki(w.instructions()),
-                        lru.ipc,
-                    )
-                })
+    let jobs: Vec<Job<'_, Table3Row>> = suite()
+        .into_iter()
+        .map(|bench| {
+            let store = ctx.store.clone();
+            Job::new(format!("table3/{}", bench.name), move || {
+                let w = store.record(&bench, 0);
+                let lru = crate::runner::run_policy(&w, &PolicyKind::Lru, llc);
+                let opt = sdbp_optimal::simulate(&w.llc, llc);
+                (
+                    bench.name.to_owned(),
+                    bench.in_subset,
+                    lru.mpki,
+                    opt.mpki(w.instructions()),
+                    lru.ipc,
+                )
             })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("bench thread")).collect()
-    });
+        })
+        .collect();
+    let rows = ctx.engine.run_batch("table3", jobs).expect_all();
 
     let mut t = TextTable::new(vec![
         "Benchmark".into(),
@@ -141,17 +143,27 @@ pub fn table4(ctx: &Context) -> String {
         }
     }));
     let mut t = TextTable::new(header);
-    for mix in mixes() {
-        let workloads = record_mix(&ctx.store, &mix);
-        let merged = merged_stream(&workloads);
-        let instructions: u64 = workloads.iter().map(|w| w.instructions()).sum();
-        let mut cells = vec![mix.name.to_owned(), mix.members.join(" ")];
-        for &kb in &sizes_kb {
-            let cfg = CacheConfig::llc_with_capacity(kb << 10);
-            let mut cache = Cache::new(cfg);
-            let r = replay(&merged, &mut cache);
-            cells.push(f3(r.stats.mpki(instructions)));
-        }
+    let jobs: Vec<Job<'_, Vec<String>>> = mixes()
+        .into_iter()
+        .map(|mix| {
+            let store = ctx.store.clone();
+            let sizes_kb = sizes_kb.clone();
+            Job::new(format!("table4/{}", mix.name), move || {
+                let workloads = record_mix(&store, &mix);
+                let merged = merged_stream(&workloads);
+                let instructions: u64 = workloads.iter().map(|w| w.instructions()).sum();
+                let mut cells = vec![mix.name.to_owned(), mix.members.join(" ")];
+                for &kb in &sizes_kb {
+                    let cfg = CacheConfig::llc_with_capacity(kb << 10);
+                    let mut cache = Cache::new(cfg);
+                    let r = replay(&merged, &mut cache);
+                    cells.push(f3(r.stats.mpki(instructions)));
+                }
+                cells
+            })
+        })
+        .collect();
+    for cells in ctx.engine.run_batch("table4", jobs).expect_all() {
         t.row(cells);
     }
     format!(

@@ -9,6 +9,7 @@ use sdbp_cache::recorder::{merge_llc_streams, record_for_core, LlcAccess, Record
 use sdbp_cache::replay::{replay, split_hits_by_core};
 use sdbp_cache::{CacheConfig, CacheStats};
 use sdbp_cpu::CoreModel;
+use sdbp_engine::{Engine, Job};
 use sdbp_replacement::{Dip, Drrip, Random, Tadip};
 use sdbp_workloads::{instructions, Benchmark, Mix};
 use std::collections::HashMap;
@@ -220,27 +221,44 @@ pub fn run_policy(
     }
 }
 
-/// Runs a list of policies for every benchmark, in parallel across
-/// benchmarks. Results are grouped per benchmark, in suite order.
+/// Runs a list of policies for every benchmark through `engine`. Results
+/// are grouped per benchmark, in suite order — the engine aggregates in
+/// submission order, so the output is identical for any worker count.
+///
+/// Two batches: one recording job per benchmark (cached in the store),
+/// then one replay job per (benchmark, policy) cell, so replays of a slow
+/// benchmark don't serialize behind each other.
 pub fn run_matrix(
+    engine: &Engine,
     store: &RecordStore,
     benchmarks: &[Benchmark],
     policies: &[PolicyKind],
     llc: CacheConfig,
 ) -> Vec<Vec<SingleResult>> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = benchmarks
-            .iter()
-            .map(|bench| {
-                let store = store.clone();
-                scope.spawn(move || {
-                    let w = store.record(bench, 0);
-                    policies.iter().map(|p| run_policy(&w, p, llc)).collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("benchmark thread panicked")).collect()
-    })
+    let record_jobs: Vec<Job<'_, Arc<RecordedWorkload>>> = benchmarks
+        .iter()
+        .map(|bench| {
+            let store = store.clone();
+            Job::new(format!("record/{}", bench.name), move || store.record(bench, 0))
+                .accesses(instructions())
+        })
+        .collect();
+    let recordings = engine.run_batch("record", record_jobs).expect_all();
+
+    let mut cell_jobs: Vec<Job<'_, SingleResult>> = Vec::new();
+    for w in &recordings {
+        for policy in policies {
+            let w = Arc::clone(w);
+            let policy = policy.clone();
+            let name = format!("{}/{}", w.name, policy.label());
+            let accesses = w.llc.len() as u64;
+            cell_jobs.push(
+                Job::new(name, move || run_policy(&w, &policy, llc)).accesses(accesses),
+            );
+        }
+    }
+    let flat = engine.run_batch("matrix", cell_jobs).expect_all();
+    flat.chunks(policies.len().max(1)).map(<[SingleResult]>::to_vec).collect()
 }
 
 /// Outcome of one (mix, policy) quad-core run.

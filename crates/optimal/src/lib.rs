@@ -190,8 +190,8 @@ mod tests {
 
     #[test]
     fn never_worse_than_lru_on_random_streams() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(31);
+        use sdbp_trace::rng::Rng64;
+        let mut rng = Rng64::seed_from_u64(31);
         for trial in 0..10 {
             let refs: Vec<u64> = (0..5_000).map(|_| rng.gen_range(0..300)).collect();
             let s = stream(&refs);
@@ -227,8 +227,8 @@ mod tests {
 
     #[test]
     fn counts_are_consistent() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        use sdbp_trace::rng::Rng64;
+        let mut rng = Rng64::seed_from_u64(5);
         let refs: Vec<u64> = (0..2_000).map(|_| rng.gen_range(0..500)).collect();
         let s = stream(&refs);
         let r = simulate(&s, CacheConfig::new(4, 4));
@@ -239,8 +239,8 @@ mod tests {
 
     #[test]
     fn no_bypass_variant_never_bypasses_and_is_at_most_as_good() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(77);
+        use sdbp_trace::rng::Rng64;
+        let mut rng = Rng64::seed_from_u64(77);
         let refs: Vec<u64> = (0..5_000).map(|_| rng.gen_range(0..400)).collect();
         let s = stream(&refs);
         let cfg = CacheConfig::new(8, 4);

@@ -7,8 +7,7 @@
 //! thrashing and cache-friendly co-runners can choose independently.
 
 use crate::dueling::{DuelingMap, Psel, Role};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use sdbp_trace::rng::Rng64;
 use sdbp_cache::policy::{first_invalid, Access, LineState, Lru, ReplacementPolicy, Victim};
 use sdbp_cache::CacheConfig;
 use std::any::Any;
@@ -33,7 +32,7 @@ struct InsertionDueler {
     lru: Lru,
     map: DuelingMap,
     psels: Vec<Psel>,
-    rng: SmallRng,
+    rng: Rng64,
 }
 
 /// Largest leader count (≤ the requested one) the geometry can host: each
@@ -55,7 +54,7 @@ impl InsertionDueler {
             lru: Lru::new(config.sets, config.ways),
             map: DuelingMap::new(config.sets, cores, leaders),
             psels: vec![Psel::new(PSEL_BITS); cores],
-            rng: SmallRng::seed_from_u64(seed),
+            rng: Rng64::seed_from_u64(seed),
         }
     }
 

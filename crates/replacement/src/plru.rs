@@ -149,14 +149,14 @@ mod tests {
 
     #[test]
     fn approximates_lru_within_a_few_percent_on_random_streams() {
-        use rand::{Rng, SeedableRng};
+        use sdbp_trace::rng::Rng64;
         let cfg = CacheConfig::new(16, 8);
         let mut plru = Cache::with_policy(cfg, Box::new(PseudoLru::new(cfg)));
         let mut lru = Cache::new(cfg);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        let mut rng = Rng64::seed_from_u64(11);
         for _ in 0..60_000 {
             // Zipf-ish mix of hot and cold blocks.
-            let b = if rng.gen_bool(0.7) { rng.gen_range(0..96) } else { rng.gen_range(0..4000) };
+            let b = if rng.gen_bool(0.7) { rng.gen_range(0u64..96) } else { rng.gen_range(0u64..4000) };
             plru.access(&acc(b));
             lru.access(&acc(b));
         }

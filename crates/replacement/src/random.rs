@@ -1,7 +1,6 @@
 //! Random replacement — the cheap default policy of paper §V-A.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use sdbp_trace::rng::Rng64;
 use sdbp_cache::policy::{first_invalid, Access, LineState, ReplacementPolicy, Victim};
 use std::any::Any;
 
@@ -21,13 +20,13 @@ use std::any::Any;
 #[derive(Clone, Debug)]
 pub struct Random {
     ways: usize,
-    rng: SmallRng,
+    rng: Rng64,
 }
 
 impl Random {
     /// Creates the policy for a cache of the given geometry.
     pub fn new(config: sdbp_cache::CacheConfig, seed: u64) -> Self {
-        Random { ways: config.ways, rng: SmallRng::seed_from_u64(seed) }
+        Random { ways: config.ways, rng: Rng64::seed_from_u64(seed) }
     }
 }
 

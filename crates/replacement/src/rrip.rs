@@ -8,8 +8,7 @@
 //! which is what the paper benchmarks as multi-core RRIP.
 
 use crate::dueling::{DuelingMap, Psel, Role};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use sdbp_trace::rng::Rng64;
 use sdbp_cache::policy::{first_invalid, Access, LineState, ReplacementPolicy, Victim};
 use sdbp_cache::CacheConfig;
 use std::any::Any;
@@ -117,7 +116,7 @@ pub struct Drrip {
     rrpv: RrpvArray,
     map: DuelingMap,
     psels: Vec<Psel>,
-    rng: SmallRng,
+    rng: Rng64,
 }
 
 impl Drrip {
@@ -128,7 +127,7 @@ impl Drrip {
             rrpv: RrpvArray::new(config),
             map: DuelingMap::new(config.sets, cores, leaders),
             psels: vec![Psel::new(PSEL_BITS); cores],
-            rng: SmallRng::seed_from_u64(seed),
+            rng: Rng64::seed_from_u64(seed),
         }
     }
 

@@ -1,10 +1,14 @@
-//! Property-based tests for the replacement policies.
+//! Property-style tests for the replacement policies, driven by the
+//! in-repo deterministic RNG (fixed seeds, exact reproduction, offline
+//! build).
 
-use proptest::prelude::*;
 use sdbp_cache::policy::Access;
 use sdbp_cache::{Cache, CacheConfig};
 use sdbp_replacement::{Dip, Drrip, DuelingMap, Psel, PseudoLru, Random, Role, Srrip, Tadip};
+use sdbp_trace::rng::Rng64;
 use sdbp_trace::{AccessKind, BlockAddr, Pc};
+
+const CASES: u64 = 48;
 
 fn policies(cfg: CacheConfig, cores: usize) -> Vec<Cache> {
     vec![
@@ -17,16 +21,15 @@ fn policies(cfg: CacheConfig, cores: usize) -> Vec<Cache> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every policy fills invalid ways before evicting valid blocks: the
-    /// eviction count never exceeds accesses minus capacity.
-    #[test]
-    fn no_policy_evicts_while_holes_remain(
-        blocks in prop::collection::vec(0u64..10_000, 1..400),
-        cores in 1usize..5,
-    ) {
+/// Every policy fills invalid ways before evicting valid blocks: the
+/// eviction count never exceeds accesses minus capacity.
+#[test]
+fn no_policy_evicts_while_holes_remain() {
+    let mut rng = Rng64::seed_from_u64(0x9e9_0001);
+    for _ in 0..CASES {
+        let blocks: Vec<u64> =
+            (0..rng.gen_range(1usize..400)).map(|_| rng.gen_range(0u64..10_000)).collect();
+        let cores = rng.gen_range(1usize..5);
         let cfg = CacheConfig::new(8, 4);
         for mut cache in policies(cfg, cores) {
             for (i, &b) in blocks.iter().enumerate() {
@@ -38,56 +41,67 @@ proptest! {
                 ));
             }
             let s = cache.stats();
-            prop_assert_eq!(s.fills, s.misses); // none of these bypass
-            prop_assert!(s.evictions <= s.fills.saturating_sub(0));
-            prop_assert!(
+            assert_eq!(s.fills, s.misses); // none of these bypass
+            assert!(s.evictions <= s.fills);
+            assert!(
                 s.evictions + (cfg.lines() as u64) >= s.fills,
                 "more evictions than fills beyond capacity"
             );
         }
     }
+}
 
-    /// PSEL stays within its bit-width range under arbitrary updates.
-    #[test]
-    fn psel_stays_in_range(bits in 1u32..12, ups in prop::collection::vec(any::<bool>(), 0..300)) {
+/// PSEL stays within its bit-width range under arbitrary updates.
+#[test]
+fn psel_stays_in_range() {
+    let mut rng = Rng64::seed_from_u64(0x9e9_0002);
+    for _ in 0..CASES {
+        let bits = rng.gen_range(1u32..12);
         let mut p = Psel::new(bits);
         let max = (1u32 << bits) - 1;
-        for up in ups {
-            if up {
+        for _ in 0..rng.gen_range(0usize..300) {
+            if rng.gen_bool(0.5) {
                 p.baseline_missed();
             } else {
                 p.challenger_missed();
             }
-            prop_assert!(p.value() <= max);
+            assert!(p.value() <= max);
         }
     }
+}
 
-    /// Leader roles partition the sets: for each core, exactly
-    /// `leaders_per_policy` sets lead each policy and no set leads twice.
-    #[test]
-    fn dueling_map_partitions_sets(
-        log2_sets in 6u32..12,
-        cores in 1usize..5,
-        log2_leaders in 0u32..5,
-    ) {
-        let sets = 1usize << log2_sets;
-        let leaders = 1usize << log2_leaders;
-        prop_assume!(sets / leaders >= 2 * cores);
+/// Leader roles partition the sets: for each core, exactly
+/// `leaders_per_policy` sets lead each policy and no set leads twice.
+#[test]
+fn dueling_map_partitions_sets() {
+    let mut rng = Rng64::seed_from_u64(0x9e9_0003);
+    let mut checked = 0;
+    while checked < CASES {
+        let sets = 1usize << rng.gen_range(6u32..12);
+        let cores = rng.gen_range(1usize..5);
+        let leaders = 1usize << rng.gen_range(0u32..5);
+        if sets / leaders < 2 * cores {
+            continue; // mirror the old prop_assume! filter
+        }
+        checked += 1;
         let m = DuelingMap::new(sets, cores, leaders);
         for core in 0..cores {
             let base = (0..sets).filter(|&s| m.role(s, core) == Role::LeaderBaseline).count();
             let chal = (0..sets).filter(|&s| m.role(s, core) == Role::LeaderChallenger).count();
-            prop_assert_eq!(base, leaders);
-            prop_assert_eq!(chal, leaders);
+            assert_eq!(base, leaders);
+            assert_eq!(chal, leaders);
         }
     }
+}
 
-    /// PLRU victims are always valid ways and never the way just touched.
-    #[test]
-    fn plru_victim_is_sane(
-        touches in prop::collection::vec(0usize..8, 1..200),
-    ) {
-        use sdbp_cache::policy::{LineState, ReplacementPolicy, Victim};
+/// PLRU victims are always valid ways and never the way just touched.
+#[test]
+fn plru_victim_is_sane() {
+    use sdbp_cache::policy::{LineState, ReplacementPolicy, Victim};
+    let mut rng = Rng64::seed_from_u64(0x9e9_0004);
+    for _ in 0..CASES {
+        let touches: Vec<usize> =
+            (0..rng.gen_range(1usize..200)).map(|_| rng.gen_range(0usize..8)).collect();
         let cfg = CacheConfig::new(1, 8);
         let mut p = PseudoLru::new(cfg);
         let a = Access::demand(Pc::new(0), BlockAddr::new(0), AccessKind::Read, 0);
@@ -99,20 +113,23 @@ proptest! {
             p.on_hit(0, t, &a);
             match p.choose_victim(0, &lines, &a) {
                 Victim::Way(w) => {
-                    prop_assert!(w < 8);
-                    prop_assert_ne!(w, t, "PLRU chose the way just touched");
+                    assert!(w < 8);
+                    assert_ne!(w, t, "PLRU chose the way just touched");
                 }
-                Victim::Bypass => prop_assert!(false, "PLRU never bypasses"),
+                Victim::Bypass => panic!("PLRU never bypasses"),
             }
         }
     }
+}
 
-    /// All policies are deterministic across identical runs.
-    #[test]
-    fn policies_are_deterministic(
-        blocks in prop::collection::vec(0u64..2000, 1..300),
-        cores in 1usize..3,
-    ) {
+/// All policies are deterministic across identical runs.
+#[test]
+fn policies_are_deterministic() {
+    let mut rng = Rng64::seed_from_u64(0x9e9_0005);
+    for _ in 0..CASES {
+        let blocks: Vec<u64> =
+            (0..rng.gen_range(1usize..300)).map(|_| rng.gen_range(0u64..2000)).collect();
+        let cores = rng.gen_range(1usize..3);
         let cfg = CacheConfig::new(8, 4);
         let run = |mut cache: Cache| {
             blocks
@@ -132,6 +149,6 @@ proptest! {
         };
         let first: Vec<Vec<bool>> = policies(cfg, cores).into_iter().map(run).collect();
         let second: Vec<Vec<bool>> = policies(cfg, cores).into_iter().map(run).collect();
-        prop_assert_eq!(first, second);
+        assert_eq!(first, second);
     }
 }

@@ -27,8 +27,7 @@
 //!   cache-size curves (used for Table IV's sensitivity curves).
 
 use crate::access::{AccessKind, BLOCK_BYTES};
-use rand::rngs::SmallRng;
-use rand::Rng;
+use crate::rng::Rng64;
 use std::fmt;
 
 /// Upper bound on the LRU-stack tracked by [`ReusePattern::StackDistance`].
@@ -56,7 +55,7 @@ pub trait Kernel: fmt::Debug {
     fn region_bytes(&self) -> u64;
 
     /// Produces the next reference.
-    fn step(&mut self, rng: &mut SmallRng) -> KernelStep;
+    fn step(&mut self, rng: &mut Rng64) -> KernelStep;
 }
 
 /// Declarative description of a kernel, turned into a live [`Kernel`] by
@@ -320,7 +319,7 @@ impl KernelSpec {
     ///
     /// Panics if the pattern's parameters are degenerate (empty region, zero
     /// touches, probabilities outside `[0, 1]`).
-    pub fn instantiate(&self, rng: &mut SmallRng) -> Box<dyn Kernel> {
+    pub fn instantiate(&self, rng: &mut Rng64) -> Box<dyn Kernel> {
         match self.pattern.clone() {
             ReusePattern::Streaming { region_bytes, touches_per_block, stride_blocks, write_fraction } => {
                 Box::new(StreamingKernel::new(
@@ -381,7 +380,7 @@ fn region_blocks(region_bytes: u64) -> u64 {
     blocks
 }
 
-fn pick_kind(rng: &mut SmallRng, write_fraction: f64) -> AccessKind {
+fn pick_kind(rng: &mut Rng64, write_fraction: f64) -> AccessKind {
     debug_assert!((0.0..=1.0).contains(&write_fraction));
     if write_fraction > 0.0 && rng.gen_bool(write_fraction) {
         AccessKind::Write
@@ -426,7 +425,7 @@ impl Kernel for StreamingKernel {
         self.blocks * BLOCK_BYTES
     }
 
-    fn step(&mut self, rng: &mut SmallRng) -> KernelStep {
+    fn step(&mut self, rng: &mut Rng64) -> KernelStep {
         let slot = self.touch;
         // Touch different words within the block so the L1 sees spatial reuse.
         let word = (slot as u64 * 8) % BLOCK_BYTES;
@@ -470,7 +469,7 @@ impl Kernel for HotSetKernel {
         self.blocks * BLOCK_BYTES
     }
 
-    fn step(&mut self, rng: &mut SmallRng) -> KernelStep {
+    fn step(&mut self, rng: &mut Rng64) -> KernelStep {
         let block = rng.gen_range(0..self.blocks);
         KernelStep {
             pc_slot: rng.gen_range(0..self.pc_slots),
@@ -500,7 +499,7 @@ impl GenerationalKernel {
         live_slots: usize,
         adversarial: bool,
         write_fraction: f64,
-        rng: &mut SmallRng,
+        rng: &mut Rng64,
     ) -> Self {
         assert!(touches_per_block >= 1, "touches_per_block must be at least 1");
         assert!(live_slots >= 1, "live_slots must be at least 1");
@@ -534,7 +533,7 @@ impl Kernel for GenerationalKernel {
         self.blocks * BLOCK_BYTES
     }
 
-    fn step(&mut self, rng: &mut SmallRng) -> KernelStep {
+    fn step(&mut self, rng: &mut Rng64) -> KernelStep {
         let slot_idx = rng.gen_range(0..self.live.len());
         let (block, touches) = self.live[slot_idx];
         let pc_slot = if self.adversarial {
@@ -589,7 +588,7 @@ impl ClassedKernel {
         pc_variants: u32,
         quick_chain: f64,
         write_fraction: f64,
-        rng: &mut SmallRng,
+        rng: &mut Rng64,
     ) -> Self {
         assert!(!classes.is_empty(), "classed kernel needs at least one class");
         assert!(pc_variants >= 1, "pc_variants must be positive");
@@ -643,7 +642,7 @@ impl ClassedKernel {
         kernel
     }
 
-    fn pick_class(&self, rng: &mut SmallRng) -> u32 {
+    fn pick_class(&self, rng: &mut Rng64) -> u32 {
         let x = rng.gen_range(0.0..self.total_weight);
         self.classes.iter().position(|&(c, _)| x < c).unwrap_or(self.classes.len() - 1) as u32
     }
@@ -658,7 +657,7 @@ impl Kernel for ClassedKernel {
         self.blocks * BLOCK_BYTES
     }
 
-    fn step(&mut self, rng: &mut SmallRng) -> KernelStep {
+    fn step(&mut self, rng: &mut Rng64) -> KernelStep {
         let slot_idx = match self.pending.take() {
             Some(slot) => slot,
             None => rng.gen_range(0..self.live.len()),
@@ -708,7 +707,7 @@ struct PointerChaseKernel {
 }
 
 impl PointerChaseKernel {
-    fn new(region_bytes: u64, revisit: f64, revisit_window: usize, rng: &mut SmallRng) -> Self {
+    fn new(region_bytes: u64, revisit: f64, revisit_window: usize, rng: &mut Rng64) -> Self {
         assert!((0.0..=1.0).contains(&revisit), "revisit must be a probability");
         assert!(revisit_window >= 1, "revisit_window must be at least 1");
         let blocks = region_blocks(region_bytes);
@@ -716,7 +715,7 @@ impl PointerChaseKernel {
         // period; mapping into `blocks` by rejection-free modulo keeps the
         // walk pseudo-random with negligible bias for our purposes.
         let mult = 6364136223846793005;
-        let inc = rng.gen::<u64>() | 1;
+        let inc = rng.next_u64() | 1;
         PointerChaseKernel {
             blocks,
             revisit,
@@ -743,7 +742,7 @@ impl Kernel for PointerChaseKernel {
         self.blocks * BLOCK_BYTES
     }
 
-    fn step(&mut self, rng: &mut SmallRng) -> KernelStep {
+    fn step(&mut self, rng: &mut Rng64) -> KernelStep {
         if !self.recent.is_empty() && self.revisit > 0.0 && rng.gen_bool(self.revisit) {
             let block = self.recent[rng.gen_range(0..self.recent.len())];
             return KernelStep {
@@ -797,7 +796,7 @@ impl StackDistanceKernel {
         }
     }
 
-    fn geometric(&self, rng: &mut SmallRng) -> usize {
+    fn geometric(&self, rng: &mut Rng64) -> usize {
         // Inverse-CDF sampling of a geometric distribution on {0, 1, ...}.
         let u: f64 = rng.gen_range(f64::EPSILON..1.0);
         (u.ln() / (1.0 - self.geo_p).ln()) as usize
@@ -813,7 +812,7 @@ impl Kernel for StackDistanceKernel {
         self.blocks * BLOCK_BYTES
     }
 
-    fn step(&mut self, rng: &mut SmallRng) -> KernelStep {
+    fn step(&mut self, rng: &mut Rng64) -> KernelStep {
         let kind = pick_kind(rng, self.write_fraction);
         if !self.stack.is_empty() && rng.gen_bool(self.reuse) {
             let depth = self.geometric(rng).min(self.stack.len() - 1);
@@ -835,10 +834,8 @@ impl Kernel for StackDistanceKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-
-    fn rng() -> SmallRng {
-        SmallRng::seed_from_u64(42)
+    fn rng() -> Rng64 {
+        Rng64::seed_from_u64(42)
     }
 
     fn run(spec: KernelSpec, n: usize) -> Vec<KernelStep> {

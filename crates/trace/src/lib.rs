@@ -38,6 +38,7 @@
 
 pub mod access;
 pub mod kernel;
+pub mod rng;
 pub mod stats;
 pub mod synthetic;
 

@@ -9,8 +9,7 @@
 
 use crate::access::{Addr, Instr, MemRef, Pc};
 use crate::kernel::{Kernel, KernelSpec};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng64;
 use std::fmt;
 
 /// Base virtual address for kernel data regions.
@@ -93,7 +92,7 @@ impl TraceBuilder {
     /// Panics if no kernel was added.
     pub fn build(self) -> SyntheticTrace {
         assert!(!self.specs.is_empty(), "a trace needs at least one kernel");
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rng = Rng64::seed_from_u64(self.seed);
         let mut kernels = Vec::with_capacity(self.specs.len());
         let mut cume_weights = Vec::with_capacity(self.specs.len());
         let mut total = 0.0;
@@ -153,7 +152,7 @@ pub struct SyntheticTrace {
     cume_weights: Vec<f64>,
     total_weight: f64,
     memory_fraction: f64,
-    rng: SmallRng,
+    rng: Rng64,
     non_mem_pc_cursor: u64,
 }
 
