@@ -136,6 +136,8 @@ where
 /// # Panics
 ///
 /// Panics if the instruction stream ends before `instructions` were taken.
+/// Fallible sources (trace files) should use [`try_record_for_core`],
+/// which reports both exhaustion and mid-stream source errors as values.
 pub fn record_for_core<I>(
     name: &str,
     instrs: I,
@@ -145,14 +147,78 @@ pub fn record_for_core<I>(
 where
     I: IntoIterator<Item = Instr>,
 {
+    match try_record_for_core(
+        name,
+        instrs.into_iter().map(Ok::<_, std::convert::Infallible>),
+        instructions,
+        core,
+    ) {
+        Ok(w) => w,
+        Err(RecordError::Exhausted { got, .. }) => {
+            panic!("instruction stream for {name} ended at {got}")
+        }
+        Err(RecordError::Source(e)) => match e {},
+    }
+}
+
+/// Why a recording pass over a fallible instruction source failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RecordError<E> {
+    /// The source itself failed mid-stream (I/O error, corrupt chunk).
+    Source(E),
+    /// The stream ended after `got` of the `wanted` instructions.
+    Exhausted {
+        /// Instructions successfully taken before the stream ended.
+        got: u64,
+        /// Instructions requested.
+        wanted: u64,
+    },
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for RecordError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::Source(e) => write!(f, "trace source failed: {e}"),
+            RecordError::Exhausted { got, wanted } => {
+                write!(f, "instruction stream ended at {got} of {wanted}")
+            }
+        }
+    }
+}
+
+impl<E: std::fmt::Display + std::fmt::Debug> std::error::Error for RecordError<E> {}
+
+/// [`record_for_core`] over a fallible instruction source: the streaming
+/// replay path for recorded trace files, where an I/O error or corrupt
+/// chunk must surface as a typed error instead of a panic.
+///
+/// Consumes the source incrementally — memory stays bounded by the
+/// source's own buffering (one chunk for `.sdbt` readers) plus the
+/// recorded output itself.
+///
+/// # Errors
+///
+/// [`RecordError::Source`] wraps the first source error;
+/// [`RecordError::Exhausted`] reports a stream that ended early.
+pub fn try_record_for_core<I, E>(
+    name: &str,
+    instrs: I,
+    instructions: u64,
+    core: u8,
+) -> Result<RecordedWorkload, RecordError<E>>
+where
+    I: IntoIterator<Item = Result<Instr, E>>,
+{
     let mut upper = UpperLevels::new();
     let mut records = Vec::with_capacity(instructions as usize);
     let mut llc = Vec::new();
     let mut iter = instrs.into_iter();
     for i in 0..instructions {
-        let instr = iter
-            .next()
-            .unwrap_or_else(|| panic!("instruction stream for {name} ended at {i}"));
+        let instr = match iter.next() {
+            Some(Ok(instr)) => instr,
+            Some(Err(e)) => return Err(RecordError::Source(e)),
+            None => return Err(RecordError::Exhausted { got: i, wanted: instructions }),
+        };
         match instr.mem {
             None => records.push(InstrRecord::new(InstrKind::NonMem, false)),
             Some(m) => {
@@ -174,7 +240,7 @@ where
             }
         }
     }
-    RecordedWorkload { name: name.to_owned(), records, llc }
+    Ok(RecordedWorkload { name: name.to_owned(), records, llc })
 }
 
 /// Merges per-core LLC streams into one shared-LLC stream, ordered by the
@@ -304,5 +370,30 @@ mod tests {
     #[should_panic(expected = "ended at")]
     fn short_stream_panics() {
         let _ = record("short", vec![Instr::non_mem(Pc::new(0))], 2);
+    }
+
+    #[test]
+    fn try_record_matches_infallible_record() {
+        let a = record("x", stream(4), 20_000);
+        let b = try_record_for_core("x", stream(4).map(Ok::<_, String>), 20_000, 0)
+            .expect("infallible stream records");
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.llc, b.llc);
+    }
+
+    #[test]
+    fn try_record_reports_exhaustion_as_value() {
+        let err = try_record_for_core("short", vec![Ok::<_, String>(Instr::non_mem(Pc::new(0)))], 2, 0)
+            .unwrap_err();
+        assert_eq!(err, RecordError::Exhausted { got: 1, wanted: 2 });
+        assert!(err.to_string().contains("ended at 1 of 2"));
+    }
+
+    #[test]
+    fn try_record_propagates_source_errors() {
+        let items = vec![Ok(Instr::non_mem(Pc::new(0))), Err("bad chunk".to_owned())];
+        let err = try_record_for_core("corrupt", items, 2, 0).unwrap_err();
+        assert_eq!(err, RecordError::Source("bad chunk".to_owned()));
+        assert!(err.to_string().contains("bad chunk"));
     }
 }

@@ -18,6 +18,10 @@ pub struct Job<'env, T> {
     /// processes; feeds the accesses/second throughput counters. Zero is
     /// fine for jobs where no such count applies.
     pub accesses: u64,
+    /// Where the job's input comes from (e.g. `"synthetic"` or
+    /// `"file:traces/hmmer.sdbt"`), surfaced in telemetry so a report
+    /// records whether a run was generated or replayed from an archive.
+    pub source: Option<String>,
     work: Box<dyn FnOnce() -> T + Send + 'env>,
 }
 
@@ -33,13 +37,20 @@ impl<T> std::fmt::Debug for Job<'_, T> {
 impl<'env, T> Job<'env, T> {
     /// Wraps `work` as a job named `name`.
     pub fn new(name: impl Into<String>, work: impl FnOnce() -> T + Send + 'env) -> Self {
-        Job { name: name.into(), accesses: 0, work: Box::new(work) }
+        Job { name: name.into(), accesses: 0, source: None, work: Box::new(work) }
     }
 
     /// Sets the access count used for throughput telemetry.
     #[must_use]
     pub fn accesses(mut self, accesses: u64) -> Self {
         self.accesses = accesses;
+        self
+    }
+
+    /// Sets the input-source label surfaced in telemetry.
+    #[must_use]
+    pub fn source(mut self, source: impl Into<String>) -> Self {
+        self.source = Some(source.into());
         self
     }
 
@@ -61,6 +72,7 @@ impl<'env, T> Job<'env, T> {
             stats: JobStats {
                 name,
                 accesses: self.accesses,
+                source: self.source,
                 queued_for,
                 ran_for: started.elapsed(),
             },
@@ -104,6 +116,8 @@ pub struct JobStats {
     pub name: String,
     /// Work units processed (for accesses/second).
     pub accesses: u64,
+    /// Input-source label, when the job declared one.
+    pub source: Option<String>,
     /// Time between batch submission and this job starting on a worker.
     pub queued_for: Duration,
     /// Wall-clock execution time of the closure itself.

@@ -45,6 +45,9 @@ pub fn render_json(workers: usize, telemetry: &EngineTelemetry) -> String {
         for j in &b.per_job {
             w.begin_object();
             w.key("name").string(&j.name);
+            if let Some(source) = &j.source {
+                w.key("source").string(source);
+            }
             w.key("seconds").float(j.ran_for.as_secs_f64());
             w.key("queue_wait_seconds").float(j.queued_for.as_secs_f64());
             w.key("accesses").uint(j.accesses);

@@ -5,19 +5,35 @@
 //! (the engine's deterministic-aggregation guarantee), and writes the
 //! serial-vs-parallel throughput comparison to `BENCH_engine_smoke.json`.
 //!
+//! It then benchmarks the trace I/O subsystem: streams a 10M-access
+//! synthetic workload through `TraceWriter` into a `.sdbt` file and back
+//! through `TraceReader` (O(chunk) memory both ways, verified bit-exact
+//! by rolling checksum), writing encode/decode throughput to
+//! `BENCH_traceio.json`.
+//!
 //! ```text
 //! engine-smoke                         # auto worker count, default output
 //! engine-smoke --jobs 4
 //! engine-smoke --output target/BENCH_engine_smoke.json
+//! engine-smoke --traceio-output target/BENCH_traceio.json
+//! SDBP_TRACEIO_ACCESSES=1000000 engine-smoke   # smaller trace bench
 //! ```
 
 use sdbp_engine::{Engine, Parallelism};
 use sdbp_harness::runner::{run_matrix, PolicyKind, RecordStore, SingleResult};
-use sdbp_workloads::subset;
+use sdbp_trace::Instr;
+use sdbp_traceio::{format::fnv1a_step, TraceMeta, TraceReader, TraceWriter};
+use sdbp_workloads::{benchmark, subset};
 use std::fmt::Write as _;
+use std::time::Instant;
 
 /// Instruction budget per benchmark: small enough for a CI smoke run.
 const SMOKE_INSTRUCTIONS: u64 = 400_000;
+
+/// Accesses streamed through the trace I/O round trip — large enough
+/// that unbounded buffering would be obvious; `SDBP_TRACEIO_ACCESSES`
+/// overrides (CI uses a smaller figure to stay quick).
+const TRACEIO_ACCESSES: u64 = 10_000_000;
 
 /// Renders a result matrix to a canonical string, byte-comparable across
 /// engine configurations.
@@ -45,9 +61,74 @@ fn measure(engine: &Engine) -> (String, f64, u64) {
     (render(&matrix), t.elapsed().as_secs_f64(), t.accesses())
 }
 
+/// Folds the fields of one instruction into a rolling FNV-1a hash, so a
+/// 10M-access stream can be compared across the round trip in O(1) space.
+fn fold_instr(hash: u64, i: &Instr) -> u64 {
+    let mut h = fnv1a_step(hash, &i.pc.raw().to_le_bytes());
+    match i.mem {
+        Some(m) => {
+            h = fnv1a_step(h, &m.addr.raw().to_le_bytes());
+            h = fnv1a_step(h, &[m.kind as u8, u8::from(m.dependent)]);
+        }
+        None => h = fnv1a_step(h, &[0xff]),
+    }
+    h
+}
+
+/// Streams `accesses` synthetic instructions to a `.sdbt` file and back,
+/// returning the JSON bench record. Panics if the decoded stream is not
+/// bit-exact — this binary is CI's byte-identity gate.
+fn traceio_bench(accesses: u64) -> String {
+    let bench = benchmark("456.hmmer").expect("known benchmark");
+    let path = std::env::temp_dir()
+        .join(format!("sdbp-traceio-bench-{}.sdbt", std::process::id()));
+
+    let encode_started = Instant::now();
+    let meta = TraceMeta::new(bench.name, bench.stream_seed(0));
+    let mut writer = TraceWriter::create(&path, meta).expect("create bench trace");
+    let mut encode_hash = 0xcbf2_9ce4_8422_2325u64;
+    for instr in bench.trace_seeded(0).take(accesses as usize) {
+        encode_hash = fold_instr(encode_hash, &instr);
+        writer.write(&instr).expect("write bench trace");
+    }
+    let summary = writer.finish().expect("finish bench trace");
+    let encode_s = encode_started.elapsed().as_secs_f64();
+
+    let decode_started = Instant::now();
+    let reader = TraceReader::open(&path).expect("reopen bench trace");
+    let mut decode_hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut decoded = 0u64;
+    for item in reader {
+        decode_hash = fold_instr(decode_hash, &item.expect("clean decode"));
+        decoded += 1;
+    }
+    let decode_s = decode_started.elapsed().as_secs_f64();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(decoded, accesses, "decode lost records");
+    assert_eq!(decode_hash, encode_hash, "round trip is not bit-exact");
+
+    let per = |s: f64| if s > 0.0 { accesses as f64 / s } else { 0.0 };
+    format!(
+        "{{\n  \"schema\": \"sdbp-bench/v1\",\n  \"name\": \"traceio\",\n  \
+         \"accesses\": {},\n  \"bytes\": {},\n  \"bytes_per_access\": {:.4},\n  \
+         \"encode\": {{\n    \"elapsed_s\": {:.6},\n    \"accesses_per_sec\": {:.1}\n  }},\n  \
+         \"decode\": {{\n    \"elapsed_s\": {:.6},\n    \"accesses_per_sec\": {:.1}\n  }},\n  \
+         \"bit_exact\": true\n}}\n",
+        accesses,
+        summary.bytes,
+        summary.bytes_per_access(),
+        encode_s,
+        per(encode_s),
+        decode_s,
+        per(decode_s),
+    )
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut output = String::from("BENCH_engine_smoke.json");
+    let mut traceio_output = String::from("BENCH_traceio.json");
     let mut workers: Option<usize> = None;
     // Every arm either drains the matched args or exits, so the cursor
     // stays at 0.
@@ -57,6 +138,13 @@ fn main() {
             "--output" => {
                 output = args.get(i + 1).cloned().unwrap_or_else(|| {
                     eprintln!("--output needs a file path");
+                    std::process::exit(2);
+                });
+                args.drain(i..=i + 1);
+            }
+            "--traceio-output" => {
+                traceio_output = args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--traceio-output needs a file path");
                     std::process::exit(2);
                 });
                 args.drain(i..=i + 1);
@@ -132,4 +220,21 @@ fn main() {
         eprintln!("error: parallel output differs from serial output");
         std::process::exit(1);
     }
+
+    let trace_accesses = std::env::var("SDBP_TRACEIO_ACCESSES")
+        .ok()
+        .and_then(|s| s.replace('_', "").parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(TRACEIO_ACCESSES);
+    let trace_json = traceio_bench(trace_accesses);
+    if let Some(parent) = std::path::Path::new(&traceio_output).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    if let Err(e) = std::fs::write(&traceio_output, &trace_json) {
+        eprintln!("cannot write {traceio_output}: {e}");
+        std::process::exit(1);
+    }
+    println!("traceio bench: {trace_accesses} accesses round-tripped -> {traceio_output}");
 }

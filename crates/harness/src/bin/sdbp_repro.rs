@@ -11,6 +11,10 @@
 //! sdbp-repro --output results.txt all
 //! sdbp-repro --jobs 8 all              # 8 engine workers
 //! sdbp-repro --serial fig4             # single-threaded reference run
+//! sdbp-repro trace record --workload 456.hmmer --out hmmer.sdbt
+//! sdbp-repro trace replay hmmer.sdbt   # bit-exact archived replay
+//! sdbp-repro trace import --in foreign.txt --out foreign.sdbt
+//! sdbp-repro trace info hmmer.sdbt
 //! ```
 //!
 //! The per-benchmark instruction budget defaults to 8M; override with
@@ -28,6 +32,11 @@ use std::time::Instant;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // The trace subcommand owns its own flags (e.g. --out), so dispatch
+    // before the experiment flag loop touches anything.
+    if args.first().map(String::as_str) == Some("trace") {
+        std::process::exit(sdbp_harness::tracecmd::run(&args[1..]));
+    }
     let mut output: Option<std::fs::File> = None;
     let mut parallelism = Parallelism::Auto;
     // Flag parsing: --instructions N, --output FILE, --jobs N, --serial.
@@ -90,7 +99,8 @@ fn main() {
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
         eprintln!(
             "usage: sdbp-repro [--instructions N] [--output FILE] [--jobs N | --serial] \
-             [list | all | <experiment>...]"
+             [list | all | <experiment>...]\n       sdbp-repro trace \
+             [record | replay | import | info] ..."
         );
         eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });

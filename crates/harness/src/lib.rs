@@ -14,5 +14,6 @@
 pub mod experiments;
 pub mod runner;
 pub mod table;
+pub mod tracecmd;
 
 pub use runner::{PolicyKind, RecordStore, SingleResult};

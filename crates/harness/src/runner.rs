@@ -5,14 +5,20 @@
 use sdbp::config::SdbpConfig;
 use sdbp::policies;
 use sdbp_cache::policy::{Lru, ReplacementPolicy};
-use sdbp_cache::recorder::{merge_llc_streams, record_for_core, LlcAccess, RecordedWorkload};
+use sdbp_cache::recorder::{
+    merge_llc_streams, record_for_core, try_record_for_core, LlcAccess, RecordError,
+    RecordedWorkload,
+};
 use sdbp_cache::replay::{replay, split_hits_by_core};
 use sdbp_cache::{CacheConfig, CacheStats};
 use sdbp_cpu::CoreModel;
 use sdbp_engine::{Engine, Job};
 use sdbp_replacement::{Dip, Drrip, Random, Tadip};
+use sdbp_trace::TraceSource;
+use sdbp_traceio::FileSource;
 use sdbp_workloads::{instructions, Benchmark, Mix};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
 /// Seed for randomized policies, fixed for reproducibility.
@@ -178,6 +184,60 @@ pub struct RecordStore {
     inner: Arc<Mutex<RecordMap>>,
 }
 
+/// Environment variable naming a directory of archived `.sdbt` traces.
+/// When set, [`RecordStore::record`] prefers `{name}.c{core}.sdbt` (then
+/// `{name}.sdbt` for core 0) over the synthetic generator, so a whole
+/// experiment run can replay from archives produced by
+/// `sdbp-repro trace record`.
+pub const TRACE_DIR_ENV: &str = "SDBP_TRACE_DIR";
+
+/// The archived trace file [`RecordStore::record`] would use for
+/// (`name`, `core`), if `SDBP_TRACE_DIR` is set and the file exists.
+pub fn archived_trace_path(name: &str, core: u8) -> Option<PathBuf> {
+    let dir = PathBuf::from(std::env::var_os(TRACE_DIR_ENV)?);
+    let per_core = dir.join(format!("{name}.c{core}.sdbt"));
+    if per_core.is_file() {
+        return Some(per_core);
+    }
+    if core == 0 {
+        let plain = dir.join(format!("{name}.sdbt"));
+        if plain.is_file() {
+            return Some(plain);
+        }
+    }
+    None
+}
+
+/// The telemetry source label for recording (`name`, `core`):
+/// `"file:{path}"` when an archived trace will be replayed, else
+/// `"synthetic"`.
+pub fn record_source_label(name: &str, core: u8) -> String {
+    match archived_trace_path(name, core) {
+        Some(path) => format!("file:{}", path.display()),
+        None => "synthetic".to_owned(),
+    }
+}
+
+/// Records `instructions` instructions streamed from any [`TraceSource`]
+/// (a synthetic generator or a `.sdbt` file) for `core`.
+///
+/// # Errors
+///
+/// A stream that fails to open, errors mid-flight (corrupt archive), or
+/// ends before `instructions` instructions, described as a string.
+pub fn record_from_source(
+    source: &dyn TraceSource,
+    name: &str,
+    instructions: u64,
+    core: u8,
+) -> Result<RecordedWorkload, String> {
+    let stream = source.open()?;
+    try_record_for_core(name, stream, instructions, core).map_err(|e| match e {
+        RecordError::Source(msg) => msg,
+        other => other.to_string(),
+    })
+}
+
 impl RecordStore {
     /// Creates an empty store.
     pub fn new() -> Self {
@@ -185,14 +245,31 @@ impl RecordStore {
     }
 
     /// Records (or fetches the cached recording of) `bench` for `core`.
+    ///
+    /// With `SDBP_TRACE_DIR` set and an archived `.sdbt` present (see
+    /// [`archived_trace_path`]), the recording streams from the file
+    /// instead of the generator; a corrupt or short archive panics with
+    /// the trace error, since silently falling back would produce results
+    /// that do not match the archive the user asked for.
     pub fn record(&self, bench: &Benchmark, core: u8) -> Arc<RecordedWorkload> {
         let key = (bench.name.to_owned(), core);
         if let Some(w) = self.inner.lock().expect("record store poisoned").get(&key) {
             return Arc::clone(w);
         }
         let n = instructions();
-        let trace = bench.trace_seeded(u64::from(core));
-        let recorded = Arc::new(record_for_core(bench.name, trace, n, core));
+        let recorded = match archived_trace_path(bench.name, core) {
+            Some(path) => {
+                let source = FileSource::new(&path)
+                    .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+                let w = record_from_source(&source, bench.name, n, core)
+                    .unwrap_or_else(|e| panic!("replaying archived trace: {e}"));
+                Arc::new(w)
+            }
+            None => {
+                let trace = bench.trace_seeded(u64::from(core));
+                Arc::new(record_for_core(bench.name, trace, n, core))
+            }
+        };
         self.inner
             .lock()
             .expect("record store poisoned")
@@ -241,6 +318,7 @@ pub fn run_matrix(
             let store = store.clone();
             Job::new(format!("record/{}", bench.name), move || store.record(bench, 0))
                 .accesses(instructions())
+                .source(record_source_label(bench.name, 0))
         })
         .collect();
     let recordings = engine.run_batch("record", record_jobs).expect_all();

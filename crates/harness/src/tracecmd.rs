@@ -1,0 +1,257 @@
+//! The `sdbp-repro trace` subcommand family: archive workloads as
+//! `.sdbt` files and replay them bit-exactly.
+//!
+//! ```text
+//! sdbp-repro trace record --workload 456.hmmer --out hmmer.sdbt
+//! sdbp-repro trace replay hmmer.sdbt
+//! sdbp-repro trace replay --workload 456.hmmer   # direct synthetic run
+//! sdbp-repro trace import --in foreign.txt --out foreign.sdbt
+//! sdbp-repro trace info hmmer.sdbt
+//! ```
+//!
+//! `replay` prints one `{name} {policy} misses= mpki= ipc=` line per
+//! policy (LRU and the paper's Sampler). Replaying a file recorded from a
+//! workload prints output byte-identical to replaying that workload
+//! directly — the acceptance property CI diffs on.
+
+use crate::runner::{record_from_source, run_policy, PolicyKind};
+use sdbp_cache::recorder::{record_for_core, RecordedWorkload};
+use sdbp_cache::CacheConfig;
+use sdbp_traceio::{
+    import_text, FileSource, TraceMeta, TraceReader, TraceWriter, WriteSummary,
+};
+use sdbp_workloads::{benchmark, instructions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Runs `sdbp-repro trace <args>`; returns the process exit code.
+pub fn run(args: &[String]) -> i32 {
+    let result = match args.first().map(String::as_str) {
+        Some("record") => cmd_record(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("import") => cmd_import(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("help") | Some("--help") | None => {
+            eprintln!("{USAGE}");
+            return if args.is_empty() { 2 } else { 0 };
+        }
+        Some(other) => Err(format!("unknown trace subcommand '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  sdbp-repro trace record --workload NAME --out FILE.sdbt [--instructions N] [--core C]
+  sdbp-repro trace replay FILE.sdbt [--core C]
+  sdbp-repro trace replay --workload NAME [--instructions N] [--core C]
+  sdbp-repro trace import --in FILE.txt --out FILE.sdbt [--name NAME]
+  sdbp-repro trace info FILE.sdbt";
+
+/// Tiny flag parser: `--key value` pairs plus positional arguments.
+struct Flags {
+    pairs: Vec<(String, String)>,
+    positional: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String], known: &[&str]) -> Result<Flags, String> {
+        let mut pairs = Vec::new();
+        let mut positional = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            if let Some(key) = arg.strip_prefix("--") {
+                if !known.contains(&key) {
+                    return Err(format!("unknown flag --{key}\n{USAGE}"));
+                }
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{key} needs a value"))?
+                    .clone();
+                pairs.push((key.to_owned(), value));
+                i += 2;
+            } else {
+                positional.push(arg.clone());
+                i += 1;
+            }
+        }
+        Ok(Flags { pairs, positional })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn get_u64(&self, key: &str) -> Result<Option<u64>, String> {
+        self.get(key)
+            .map(|v| {
+                v.replace('_', "")
+                    .parse()
+                    .map_err(|_| format!("--{key} needs a positive integer, got '{v}'"))
+            })
+            .transpose()
+    }
+}
+
+/// The per-run instruction budget: `--instructions`, else the
+/// `SDBP_INSTRUCTIONS`/default chain every experiment uses.
+fn budget(flags: &Flags) -> Result<u64, String> {
+    Ok(flags.get_u64("instructions")?.unwrap_or_else(instructions))
+}
+
+fn core_id(flags: &Flags) -> Result<u8, String> {
+    match flags.get_u64("core")? {
+        Some(c) if c > 255 => Err(format!("--core must be 0..=255, got {c}")),
+        Some(c) => Ok(c as u8),
+        None => Ok(0),
+    }
+}
+
+fn cmd_record(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["workload", "out", "instructions", "core"])?;
+    let name = flags.get("workload").ok_or("record needs --workload NAME")?;
+    let out = PathBuf::from(flags.get("out").ok_or("record needs --out FILE.sdbt")?);
+    let n = budget(&flags)?;
+    let core = core_id(&flags)?;
+    let bench = benchmark(name).ok_or_else(|| format!("unknown workload '{name}'"))?;
+
+    let started = Instant::now();
+    let meta = TraceMeta::new(bench.name, bench.stream_seed(u64::from(core)));
+    let mut writer =
+        TraceWriter::create(&out, meta).map_err(|e| format!("{}: {e}", out.display()))?;
+    writer
+        .write_all(bench.trace_seeded(u64::from(core)).take(n as usize))
+        .map_err(|e| format!("{}: {e}", out.display()))?;
+    let summary = writer.finish().map_err(|e| format!("{}: {e}", out.display()))?;
+    report_write(&out, &summary, started.elapsed().as_secs_f64());
+    Ok(())
+}
+
+fn report_write(out: &Path, summary: &WriteSummary, secs: f64) {
+    eprintln!(
+        "[recorded {} instructions to {} — {} chunks, {} bytes, {:.2} bytes/access, \
+         {:.0} accesses/s]",
+        summary.instructions,
+        out.display(),
+        summary.chunks,
+        summary.bytes,
+        summary.bytes_per_access(),
+        if secs > 0.0 { summary.instructions as f64 / secs } else { 0.0 },
+    );
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["workload", "instructions", "core"])?;
+    let core = core_id(&flags)?;
+    let workload = match (flags.get("workload"), flags.positional.as_slice()) {
+        (Some(name), []) => {
+            let bench =
+                benchmark(name).ok_or_else(|| format!("unknown workload '{name}'"))?;
+            let n = budget(&flags)?;
+            record_for_core(bench.name, bench.trace_seeded(u64::from(core)), n, core)
+        }
+        (None, [path]) => workload_from_file(Path::new(path), core)?,
+        (Some(_), [_, ..]) => {
+            return Err("replay takes a file or --workload, not both".into())
+        }
+        _ => return Err(format!("replay needs a FILE.sdbt or --workload NAME\n{USAGE}")),
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    write!(out, "{}", replay_summary(&workload, CacheConfig::llc_2mb()))
+        .map_err(|e| e.to_string())
+}
+
+/// Streams an archived trace into a recorded workload, using the
+/// archive's own record count as the instruction budget.
+pub fn workload_from_file(path: &Path, core: u8) -> Result<RecordedWorkload, String> {
+    let source = FileSource::new(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let count = source.meta().count;
+    let name = source.meta().name.clone();
+    record_from_source(&source, &name, count, core)
+}
+
+/// The replay result table: one line per policy, `{name} {policy}
+/// misses= mpki= ipc=`. Byte-identical between a direct synthetic run and
+/// a replay of its recording — the property the integration tests and CI
+/// assert.
+pub fn replay_summary(workload: &RecordedWorkload, llc: CacheConfig) -> String {
+    let mut out = String::new();
+    for policy in [PolicyKind::Lru, PolicyKind::Sampler] {
+        let r = run_policy(workload, &policy, llc);
+        out.push_str(&format!(
+            "{} {} misses={} mpki={:.6} ipc={:.6}\n",
+            r.benchmark, r.policy, r.misses, r.mpki, r.ipc
+        ));
+    }
+    out
+}
+
+fn cmd_import(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["in", "out", "name"])?;
+    let input = PathBuf::from(flags.get("in").ok_or("import needs --in FILE.txt")?);
+    let out = PathBuf::from(flags.get("out").ok_or("import needs --out FILE.sdbt")?);
+    let name = match flags.get("name") {
+        Some(n) => n.to_owned(),
+        None => input
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "imported".to_owned()),
+    };
+
+    let started = Instant::now();
+    let reader = std::fs::File::open(&input)
+        .map(std::io::BufReader::new)
+        .map_err(|e| format!("{}: {e}", input.display()))?;
+    // Seed 0 marks the stream as externally captured, not generated.
+    let writer = TraceWriter::create(&out, TraceMeta::new(&name, 0))
+        .map_err(|e| format!("{}: {e}", out.display()))?;
+    import_text(reader, writer)
+        .map_err(|e| format!("{}: {e}", input.display()))
+        .map(|summary| report_write(&out, &summary, started.elapsed().as_secs_f64()))
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let [path] = flags.positional.as_slice() else {
+        return Err(format!("info needs exactly one FILE.sdbt\n{USAGE}"));
+    };
+    let path = Path::new(path);
+    let bytes = std::fs::metadata(path)
+        .map_err(|e| format!("{}: {e}", path.display()))?
+        .len();
+    let mut reader =
+        TraceReader::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let meta = reader.meta().clone();
+    // Stream every record so checksums and counts are fully validated.
+    let mut records: u64 = 0;
+    let mut mem: u64 = 0;
+    let mut writes: u64 = 0;
+    for item in reader.by_ref() {
+        let instr = item.map_err(|e| format!("{}: {e}", path.display()))?;
+        records += 1;
+        if let Some(m) = instr.mem {
+            mem += 1;
+            if m.kind == sdbp_trace::AccessKind::Write {
+                writes += 1;
+            }
+        }
+    }
+    println!("file:         {}", path.display());
+    println!("format:       sdbt v{}", meta.version);
+    println!("workload:     {}", meta.name);
+    println!("seed:         {:#018x}", meta.seed);
+    println!("instructions: {records}");
+    println!("memory refs:  {mem} ({writes} writes)");
+    println!("chunks:       {}", reader.chunks_read());
+    println!("bytes:        {bytes} ({:.2}/access)", bytes as f64 / records.max(1) as f64);
+    println!("integrity:    ok (all checksums validated)");
+    Ok(())
+}

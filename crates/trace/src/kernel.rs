@@ -47,7 +47,10 @@ pub struct KernelStep {
 }
 
 /// A source of kernel-local memory references.
-pub trait Kernel: fmt::Debug {
+///
+/// `Send` so a composed [`SyntheticTrace`](crate::SyntheticTrace) can be
+/// opened by a [`TraceSource`](crate::TraceSource) inside a worker job.
+pub trait Kernel: fmt::Debug + Send {
     /// Number of distinct PC slots this kernel may emit.
     fn pc_slots(&self) -> u32;
 

@@ -39,8 +39,10 @@
 pub mod access;
 pub mod kernel;
 pub mod rng;
+pub mod source;
 pub mod stats;
 pub mod synthetic;
 
 pub use access::{AccessKind, Addr, BlockAddr, Instr, MemRef, Pc};
+pub use source::{GeneratorSource, InstrStream, TraceSource};
 pub use synthetic::{SyntheticTrace, TraceBuilder};

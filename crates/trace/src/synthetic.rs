@@ -87,23 +87,33 @@ impl TraceBuilder {
 
     /// Builds the infinite trace.
     ///
+    /// Per-kernel randomness is split off the builder seed with
+    /// [`Rng64::fork`]: kernel `idx` instantiates from stream `2*idx + 1`
+    /// and draws its PC-scatter salt from stream `2*idx + 2`, while the
+    /// interleaving stream itself runs on stream 0. Every sub-stream is
+    /// therefore a pure function of `(seed, idx)` — no hand-offset
+    /// constants, and adding a kernel never perturbs the streams of the
+    /// kernels before it.
+    ///
     /// # Panics
     ///
     /// Panics if no kernel was added.
     pub fn build(self) -> SyntheticTrace {
         assert!(!self.specs.is_empty(), "a trace needs at least one kernel");
-        let mut rng = Rng64::seed_from_u64(self.seed);
+        let root = Rng64::seed_from_u64(self.seed);
         let mut kernels = Vec::with_capacity(self.specs.len());
         let mut cume_weights = Vec::with_capacity(self.specs.len());
         let mut total = 0.0;
         let mut next_region = DATA_BASE;
         for (idx, spec) in self.specs.iter().enumerate() {
-            let kernel = spec.instantiate(&mut rng);
+            let mut kernel_rng = root.fork(2 * idx as u64 + 1);
+            let kernel = spec.instantiate(&mut kernel_rng);
             let span = kernel.region_bytes();
             let placed = KernelInstance {
                 kernel,
                 addr_base: next_region,
                 pc_base: CODE_BASE + idx as u64 * KERNEL_CODE_SPAN,
+                pc_salt: root.fork(2 * idx as u64 + 2).next_u64(),
             };
             // Round the next region base up so regions never overlap and
             // start block-aligned at a large power-of-two boundary.
@@ -114,12 +124,11 @@ impl TraceBuilder {
             kernels.push(placed);
         }
         SyntheticTrace {
-            seed: self.seed,
             kernels,
             cume_weights,
             total_weight: total,
             memory_fraction: self.memory_fraction,
-            rng,
+            rng: root.fork(0),
             non_mem_pc_cursor: 0,
         }
     }
@@ -129,6 +138,9 @@ struct KernelInstance {
     kernel: Box<dyn Kernel>,
     addr_base: u64,
     pc_base: u64,
+    /// Salt for [`scatter_pc_slot`], forked off the builder seed per
+    /// kernel so two kernels (or two traces) never share PC structure.
+    pc_salt: u64,
 }
 
 impl fmt::Debug for KernelInstance {
@@ -137,6 +149,7 @@ impl fmt::Debug for KernelInstance {
             .field("kernel", &self.kernel)
             .field("addr_base", &format_args!("{:#x}", self.addr_base))
             .field("pc_base", &format_args!("{:#x}", self.pc_base))
+            .field("pc_salt", &format_args!("{:#x}", self.pc_salt))
             .finish()
     }
 }
@@ -147,7 +160,6 @@ impl fmt::Debug for KernelInstance {
 /// end-to-end example.
 #[derive(Debug)]
 pub struct SyntheticTrace {
-    seed: u64,
     kernels: Vec<KernelInstance>,
     cume_weights: Vec<f64>,
     total_weight: f64,
@@ -173,10 +185,7 @@ impl SyntheticTrace {
         let idx = self.pick_kernel();
         let inst = &mut self.kernels[idx];
         let step = inst.kernel.step(&mut self.rng);
-        // Salt by both the kernel index and the trace seed so two traces
-        // (different benchmarks, or one benchmark on two cores) never share
-        // PC values structurally.
-        let scattered = scatter_pc_slot(step.pc_slot, self.seed ^ (idx as u64 + 1));
+        let scattered = scatter_pc_slot(step.pc_slot, inst.pc_salt);
         let pc = Pc::new(inst.pc_base + scattered * 4);
         let mem = MemRef {
             addr: Addr::new(inst.addr_base + step.region_offset),

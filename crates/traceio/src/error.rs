@@ -1,0 +1,135 @@
+//! The typed error taxonomy for trace I/O.
+//!
+//! Every way a trace file can be unusable — missing, foreign, written by
+//! a newer tool, cut short, or bit-flipped — maps to a distinct variant,
+//! so callers (the CLI, the harness, CI) can report *what* is wrong with
+//! an archive instead of panicking or guessing.
+
+use std::fmt;
+
+/// Why a trace could not be read, written or imported.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// An underlying filesystem or stream error.
+    Io(std::io::Error),
+    /// The file does not start with the `.sdbt` magic.
+    BadMagic {
+        /// The first eight bytes actually found.
+        found: [u8; 8],
+    },
+    /// The file was written by a newer format version than this build
+    /// understands.
+    UnsupportedVersion {
+        /// Version recorded in the file.
+        found: u32,
+        /// Newest version this build supports.
+        supported: u32,
+    },
+    /// The header failed structural validation or its checksum.
+    HeaderCorrupt {
+        /// What specifically failed.
+        detail: String,
+    },
+    /// The file ended before the structure it promised was complete.
+    Truncated {
+        /// Which structure was being read when the bytes ran out.
+        context: &'static str,
+    },
+    /// A chunk's payload checksum did not match its frame.
+    ChunkChecksum {
+        /// Zero-based index of the failing chunk.
+        chunk: u64,
+    },
+    /// A record within a chunk could not be decoded.
+    CorruptRecord {
+        /// Zero-based index of the chunk holding the record.
+        chunk: u64,
+    },
+    /// The decoded record count disagrees with the header.
+    CountMismatch {
+        /// Count promised by the header.
+        header: u64,
+        /// Records actually decoded.
+        decoded: u64,
+    },
+    /// The end marker's whole-file checksum did not match the chunks read.
+    TrailerChecksum,
+    /// A line of an external text trace could not be parsed.
+    Import {
+        /// One-based line number.
+        line: u64,
+        /// What was wrong with it.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            TraceIoError::BadMagic { found } => {
+                write!(f, "not an .sdbt trace (magic {found:02x?})")
+            }
+            TraceIoError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "trace format version {found} is newer than supported version {supported}"
+            ),
+            TraceIoError::HeaderCorrupt { detail } => {
+                write!(f, "trace header corrupt: {detail}")
+            }
+            TraceIoError::Truncated { context } => {
+                write!(f, "trace truncated while reading {context}")
+            }
+            TraceIoError::ChunkChecksum { chunk } => {
+                write!(f, "checksum mismatch in chunk {chunk}")
+            }
+            TraceIoError::CorruptRecord { chunk } => {
+                write!(f, "undecodable record in chunk {chunk}")
+            }
+            TraceIoError::CountMismatch { header, decoded } => {
+                write!(f, "header promises {header} records but file holds {decoded}")
+            }
+            TraceIoError::TrailerChecksum => {
+                write!(f, "whole-file checksum mismatch at end marker")
+            }
+            TraceIoError::Import { line, detail } => {
+                write!(f, "import failed at line {line}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let cases: Vec<(TraceIoError, &str)> = vec![
+            (TraceIoError::BadMagic { found: [0; 8] }, "magic"),
+            (TraceIoError::UnsupportedVersion { found: 9, supported: 1 }, "version 9"),
+            (TraceIoError::Truncated { context: "chunk payload" }, "chunk payload"),
+            (TraceIoError::ChunkChecksum { chunk: 3 }, "chunk 3"),
+            (TraceIoError::CountMismatch { header: 10, decoded: 5 }, "10"),
+            (TraceIoError::Import { line: 7, detail: "x".into() }, "line 7"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! On-disk layout of the `.sdbt` container: magic, header, chunk frames,
+//! and the varint + delta record codec.
+//!
+//! ```text
+//! file   := header chunk* end-marker
+//! header := magic(8) version(u32) seed(u64) count(u64)
+//!           name_len(u32) name(name_len) header_fnv(u64)
+//! chunk  := payload_len(u32) records(u32) payload_fnv(u64) payload
+//! end    := payload_len=0(u32) records=0(u32) global_fnv(u64)
+//! ```
+//!
+//! All integers are little-endian. `count` and `header_fnv` are patched by
+//! [`TraceWriter::finish`](crate::TraceWriter::finish); `global_fnv` folds
+//! every chunk's payload checksum in order, so a validating reader detects
+//! chunk reordering or replacement even when each chunk is self-consistent.
+//!
+//! Within a chunk, each record is a flags byte followed by a zigzag-varint
+//! program-counter delta and (for memory instructions) a zigzag-varint
+//! address delta. Delta state resets at every chunk boundary, which makes
+//! chunks independently decodable — the property the corrupt-tolerant
+//! reader relies on to report *which* chunk failed.
+
+use sdbp_trace::{AccessKind, Addr, Instr, MemRef, Pc};
+
+/// Magic bytes identifying an `.sdbt` file.
+pub const MAGIC: [u8; 8] = *b"SDBTRACE";
+
+/// Newest container version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Default records per chunk (~64 Ki records, a few hundred KiB encoded).
+pub const DEFAULT_CHUNK_RECORDS: u32 = 1 << 16;
+
+/// Byte offset of the `count` field within the header (after magic,
+/// version and seed).
+pub const COUNT_OFFSET: u64 = 8 + 4 + 8;
+
+/// Flags byte: the record is a memory instruction.
+pub const FLAG_MEM: u8 = 1 << 0;
+/// Flags byte: the memory reference is a write.
+pub const FLAG_WRITE: u8 = 1 << 1;
+/// Flags byte: the next instruction depends on this load (pointer chase).
+pub const FLAG_DEPENDENT: u8 = 1 << 2;
+/// Any set bit outside this mask marks a corrupt or future record.
+pub const FLAG_MASK: u8 = FLAG_MEM | FLAG_WRITE | FLAG_DEPENDENT;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64: folds `bytes` into `hash`.
+pub fn fnv1a_step(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash = (hash ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// FNV-1a 64 of `bytes` from the standard offset basis.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_step(FNV_OFFSET, bytes)
+}
+
+/// The running whole-file checksum: chunk payload checksums folded in
+/// file order, starting from the offset basis.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct GlobalChecksum(u64);
+
+impl GlobalChecksum {
+    /// Fresh accumulator (offset basis).
+    pub const fn new() -> Self {
+        GlobalChecksum(FNV_OFFSET)
+    }
+
+    /// Folds one chunk's payload checksum in.
+    pub fn fold(&mut self, chunk_fnv: u64) {
+        self.0 = fnv1a_step(self.0, &chunk_fnv.to_le_bytes());
+    }
+
+    /// The accumulated value (written into / compared against the end
+    /// marker's checksum slot).
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for GlobalChecksum {
+    fn default() -> Self {
+        GlobalChecksum::new()
+    }
+}
+
+/// Zigzag-encodes a signed delta so small magnitudes of either sign get
+/// short varints.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends `v` as an LEB128 varint (1–10 bytes).
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint from `buf` starting at `*pos`, advancing `*pos`.
+///
+/// Returns `None` on overrun (truncated buffer) or overlong encoding.
+pub fn get_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    for shift in 0..10u32 {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        // The 10th byte may only carry the final bit of a 64-bit value.
+        if shift == 9 && byte > 1 {
+            return None;
+        }
+        v |= u64::from(byte & 0x7f) << (shift * 7);
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// The per-chunk delta-codec state; reset at every chunk boundary.
+#[derive(Copy, Clone, Default, Debug)]
+pub struct DeltaState {
+    prev_pc: u64,
+    prev_addr: u64,
+}
+
+impl DeltaState {
+    /// Appends `instr` to `out` and advances the delta state.
+    pub fn encode(&mut self, instr: &Instr, out: &mut Vec<u8>) {
+        let mut flags = 0u8;
+        if let Some(m) = instr.mem {
+            flags |= FLAG_MEM;
+            if m.kind.is_write() {
+                flags |= FLAG_WRITE;
+            }
+            if m.dependent {
+                flags |= FLAG_DEPENDENT;
+            }
+        }
+        out.push(flags);
+        let pc = instr.pc.raw();
+        put_varint(out, zigzag(pc.wrapping_sub(self.prev_pc) as i64));
+        self.prev_pc = pc;
+        if let Some(m) = instr.mem {
+            let addr = m.addr.raw();
+            put_varint(out, zigzag(addr.wrapping_sub(self.prev_addr) as i64));
+            self.prev_addr = addr;
+        }
+    }
+
+    /// Decodes one record from `buf` at `*pos`, advancing `*pos`.
+    ///
+    /// Returns `None` when the buffer is truncated mid-record or the
+    /// flags byte has unknown bits set.
+    pub fn decode(&mut self, buf: &[u8], pos: &mut usize) -> Option<Instr> {
+        let flags = *buf.get(*pos)?;
+        if flags & !FLAG_MASK != 0 {
+            return None;
+        }
+        *pos += 1;
+        let pc_delta = unzigzag(get_varint(buf, pos)?);
+        self.prev_pc = self.prev_pc.wrapping_add(pc_delta as u64);
+        let pc = Pc::new(self.prev_pc);
+        if flags & FLAG_MEM == 0 {
+            return Some(Instr::non_mem(pc));
+        }
+        let addr_delta = unzigzag(get_varint(buf, pos)?);
+        self.prev_addr = self.prev_addr.wrapping_add(addr_delta as u64);
+        let kind =
+            if flags & FLAG_WRITE != 0 { AccessKind::Write } else { AccessKind::Read };
+        Some(Instr::mem(
+            pc,
+            MemRef {
+                addr: Addr::new(self.prev_addr),
+                kind,
+                dependent: flags & FLAG_DEPENDENT != 0,
+            },
+        ))
+    }
+}
+
+/// Everything the header records about a trace.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceMeta {
+    /// Workload name (benchmark name for recordings, caller-chosen for
+    /// imports).
+    pub name: String,
+    /// Generator seed the stream was built from (0 for imported traces).
+    pub seed: u64,
+    /// Total instruction records in the file.
+    pub count: u64,
+    /// Container format version the file was written with.
+    pub version: u32,
+}
+
+impl TraceMeta {
+    /// Metadata for a new recording (count is filled in at finish time).
+    pub fn new(name: impl Into<String>, seed: u64) -> Self {
+        TraceMeta { name: name.into(), seed, count: 0, version: FORMAT_VERSION }
+    }
+
+    /// Serializes the header, including its trailing checksum.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let name = self.name.as_bytes();
+        let mut out = Vec::with_capacity(32 + name.len() + 8);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&self.count.to_le_bytes());
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name);
+        let fnv = fnv1a(&out);
+        out.extend_from_slice(&fnv.to_le_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_round_trips_extremes() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 0x4000_0000_0000] {
+            assert_eq!(unzigzag(zigzag(v)), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn varint_round_trips() {
+        let mut buf = Vec::new();
+        let values =
+            [0u64, 1, 127, 128, 300, 0xffff, u64::from(u32::MAX), u64::MAX, u64::MAX - 1];
+        for &v in &values {
+            put_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(get_varint(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overlong() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::MAX);
+        let mut pos = 0;
+        assert_eq!(get_varint(&buf[..buf.len() - 1], &mut pos), None);
+        // Eleven continuation bytes can never be a valid u64.
+        let overlong = [0x80u8; 11];
+        let mut pos = 0;
+        assert_eq!(get_varint(&overlong, &mut pos), None);
+    }
+
+    #[test]
+    fn delta_codec_round_trips_mixed_records() {
+        let instrs = vec![
+            Instr::non_mem(Pc::new(0x400_000)),
+            Instr::mem(Pc::new(0x400_004), MemRef::read(Addr::new(0x1_0000_0040))),
+            Instr::mem(Pc::new(0x400_000), MemRef::write(Addr::new(0x1_0000_0000))),
+            Instr::mem(Pc::new(0x400_008), MemRef::read(Addr::new(u64::MAX)).dependent()),
+            Instr::non_mem(Pc::new(0)),
+        ];
+        let mut enc = DeltaState::default();
+        let mut buf = Vec::new();
+        for i in &instrs {
+            enc.encode(i, &mut buf);
+        }
+        let mut dec = DeltaState::default();
+        let mut pos = 0;
+        for want in &instrs {
+            assert_eq!(dec.decode(&buf, &mut pos).as_ref(), Some(want));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_flags() {
+        let buf = [0xf8u8, 0x00];
+        let mut pos = 0;
+        assert!(DeltaState::default().decode(&buf, &mut pos).is_none());
+    }
+
+    #[test]
+    fn header_serializes_with_valid_checksum() {
+        let meta = TraceMeta { name: "456.hmmer".into(), seed: 42, count: 7, version: 1 };
+        let bytes = meta.to_bytes();
+        assert_eq!(&bytes[..8], &MAGIC);
+        let body = &bytes[..bytes.len() - 8];
+        let fnv = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+        assert_eq!(fnv, fnv1a(body));
+    }
+
+    #[test]
+    fn global_checksum_is_order_sensitive() {
+        let mut a = GlobalChecksum::new();
+        a.fold(1);
+        a.fold(2);
+        let mut b = GlobalChecksum::new();
+        b.fold(2);
+        b.fold(1);
+        assert_ne!(a.value(), b.value());
+    }
+}

@@ -1,0 +1,71 @@
+//! `sdbp-traceio` — binary trace record/replay for the SDBP reproduction.
+//!
+//! The paper evaluates on fixed SPEC CPU 2006 traces replayed through
+//! CMP$im; this crate gives the reproduction the same property. A
+//! workload's instruction stream — synthetic or externally captured — is
+//! archived once into a versioned binary container (`.sdbt`) and replayed
+//! bit-exactly on any machine, so results can be compared across runs,
+//! hosts, and tool versions.
+//!
+//! # The `.sdbt` container
+//!
+//! A header (magic, format version, workload name, generator seed, record
+//! count, checksum) followed by fixed-record-count chunks of varint +
+//! address-delta encoded instructions, each chunk framed with its byte
+//! length, record count and FNV-1a checksum, closed by an end marker
+//! carrying a whole-file checksum. See [`format`] for the byte-level
+//! layout and DESIGN.md §8 for the rationale and compatibility rules.
+//!
+//! * [`TraceWriter`] buffers one chunk at a time (O(chunk) memory).
+//! * [`TraceReader`] streams chunk-by-chunk, validating checksums in its
+//!   default [`Integrity::Validate`] mode; every defect — truncation, bad
+//!   magic, a flipped bit, a version from the future — surfaces as a
+//!   typed [`TraceIoError`], never a panic.
+//! * [`import`] turns ChampSim-style `pc addr is_write` text traces into
+//!   `.sdbt` workloads.
+//! * [`FileSource`] plugs a trace file into the
+//!   [`TraceSource`](sdbp_trace::TraceSource) abstraction, so the harness
+//!   and every `sdbp-engine` job run from a file exactly as they run from
+//!   a synthetic generator.
+//!
+//! # Example
+//!
+//! ```
+//! use sdbp_traceio::{TraceMeta, TraceReader, TraceWriter};
+//! use sdbp_trace::{kernel::KernelSpec, TraceBuilder};
+//! use std::io::Cursor;
+//!
+//! // Record 10k instructions of a synthetic workload...
+//! let mut buf = Cursor::new(Vec::new());
+//! let mut writer = TraceWriter::new(&mut buf, TraceMeta::new("demo", 7)).unwrap();
+//! let trace = TraceBuilder::new(7).kernel(KernelSpec::hot_set(1 << 14)).build();
+//! writer.write_all(trace.take(10_000)).unwrap();
+//! let summary = writer.finish().unwrap();
+//! assert_eq!(summary.instructions, 10_000);
+//!
+//! // ...and replay them bit-exactly.
+//! buf.set_position(0);
+//! let reader = TraceReader::new(buf).unwrap();
+//! assert_eq!(reader.meta().count, 10_000);
+//! let replayed = reader.collect::<Result<Vec<_>, _>>().unwrap();
+//! let original: Vec<_> =
+//!     TraceBuilder::new(7).kernel(KernelSpec::hot_set(1 << 14)).build().take(10_000).collect();
+//! assert_eq!(replayed, original);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod format;
+pub mod import;
+pub mod reader;
+pub mod source;
+pub mod writer;
+
+pub use error::TraceIoError;
+pub use format::{TraceMeta, DEFAULT_CHUNK_RECORDS, FORMAT_VERSION, MAGIC};
+pub use import::{import_text, parse_line};
+pub use reader::{Integrity, TraceReader};
+pub use source::FileSource;
+pub use writer::{TraceWriter, WriteSummary};

@@ -1,0 +1,264 @@
+//! Streaming, chunk-at-a-time reading of `.sdbt` traces.
+
+use crate::error::TraceIoError;
+use crate::format::{DeltaState, GlobalChecksum, TraceMeta, FORMAT_VERSION, MAGIC, fnv1a};
+use sdbp_trace::Instr;
+use std::fs::File;
+use std::io::{BufReader, Read};
+use std::path::Path;
+
+/// How much checking the reader does while streaming.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum Integrity {
+    /// Validate per-chunk payload checksums and the whole-file checksum
+    /// at the end marker (the corrupt-tolerant mode: every corruption is
+    /// reported as a typed [`TraceIoError`], never a panic).
+    #[default]
+    Validate,
+    /// Skip checksum arithmetic; structural errors (truncation, bad
+    /// varints, count mismatches) are still detected.
+    Fast,
+}
+
+/// Streaming `.sdbt` reader: holds one decoded chunk in memory at a time,
+/// so a multi-hundred-million-access trace replays in O(chunk) space.
+///
+/// Iterate it directly — items are `Result<Instr, TraceIoError>`; after
+/// the first error (or the validated end marker) the iterator fuses to
+/// `None`. The header is validated eagerly in [`new`](TraceReader::new),
+/// so an unusable file fails before any records are consumed.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    src: R,
+    meta: TraceMeta,
+    integrity: Integrity,
+    chunk: Vec<u8>,
+    pos: usize,
+    chunk_records_left: u32,
+    delta: DeltaState,
+    chunk_index: u64,
+    decoded: u64,
+    global: GlobalChecksum,
+    done: bool,
+}
+
+impl TraceReader<BufReader<File>> {
+    /// Opens `path` in the default [`Integrity::Validate`] mode.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors, or any header defect ([`TraceIoError::BadMagic`],
+    /// [`TraceIoError::UnsupportedVersion`], ...).
+    pub fn open(path: &Path) -> Result<Self, TraceIoError> {
+        Self::open_with(path, Integrity::Validate)
+    }
+
+    /// Opens `path` with an explicit integrity mode.
+    ///
+    /// # Errors
+    ///
+    /// As [`open`](TraceReader::open).
+    pub fn open_with(path: &Path, integrity: Integrity) -> Result<Self, TraceIoError> {
+        TraceReader::with_integrity(BufReader::new(File::open(path)?), integrity)
+    }
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Wraps `src` in the default [`Integrity::Validate`] mode, reading
+    /// and validating the header.
+    ///
+    /// # Errors
+    ///
+    /// As [`open`](TraceReader::open).
+    pub fn new(src: R) -> Result<Self, TraceIoError> {
+        Self::with_integrity(src, Integrity::Validate)
+    }
+
+    /// Wraps `src` with an explicit integrity mode.
+    ///
+    /// # Errors
+    ///
+    /// As [`open`](TraceReader::open).
+    pub fn with_integrity(mut src: R, integrity: Integrity) -> Result<Self, TraceIoError> {
+        let meta = read_header(&mut src)?;
+        Ok(TraceReader {
+            src,
+            meta,
+            integrity,
+            chunk: Vec::new(),
+            pos: 0,
+            chunk_records_left: 0,
+            delta: DeltaState::default(),
+            chunk_index: 0,
+            decoded: 0,
+            global: GlobalChecksum::new(),
+            done: false,
+        })
+    }
+
+    /// The validated header metadata.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Data chunks consumed so far.
+    pub fn chunks_read(&self) -> u64 {
+        self.chunk_index
+    }
+
+    /// Loads the next chunk. Returns `false` on the (validated) end
+    /// marker.
+    fn load_chunk(&mut self) -> Result<bool, TraceIoError> {
+        let mut frame = [0u8; 16];
+        read_exact(&mut self.src, &mut frame, "chunk frame")?;
+        let payload_len = u32::from_le_bytes(frame[0..4].try_into().expect("4 bytes"));
+        let records = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
+        let checksum = u64::from_le_bytes(frame[8..16].try_into().expect("8 bytes"));
+        if payload_len == 0 {
+            // End marker: the checksum slot holds the whole-file checksum.
+            if records != 0 {
+                return Err(TraceIoError::Truncated { context: "end marker" });
+            }
+            if self.integrity == Integrity::Validate && checksum != self.global.value() {
+                return Err(TraceIoError::TrailerChecksum);
+            }
+            if self.decoded != self.meta.count {
+                return Err(TraceIoError::CountMismatch {
+                    header: self.meta.count,
+                    decoded: self.decoded,
+                });
+            }
+            return Ok(false);
+        }
+        if records == 0 {
+            return Err(TraceIoError::CorruptRecord { chunk: self.chunk_index });
+        }
+        self.chunk.resize(payload_len as usize, 0);
+        read_exact(&mut self.src, &mut self.chunk, "chunk payload")?;
+        if self.integrity == Integrity::Validate {
+            let actual = fnv1a(&self.chunk);
+            if actual != checksum {
+                return Err(TraceIoError::ChunkChecksum { chunk: self.chunk_index });
+            }
+            self.global.fold(actual);
+        }
+        self.pos = 0;
+        self.chunk_records_left = records;
+        self.delta = DeltaState::default();
+        Ok(true)
+    }
+
+    fn next_record(&mut self) -> Result<Option<Instr>, TraceIoError> {
+        while self.chunk_records_left == 0 {
+            if !self.load_chunk()? {
+                return Ok(None);
+            }
+            self.chunk_index += 1;
+        }
+        // chunk_index was already advanced past this chunk; report its
+        // zero-based index.
+        let here = self.chunk_index - 1;
+        let instr = self
+            .delta
+            .decode(&self.chunk, &mut self.pos)
+            .ok_or(TraceIoError::CorruptRecord { chunk: here })?;
+        self.chunk_records_left -= 1;
+        if self.chunk_records_left == 0 && self.pos != self.chunk.len() {
+            // Trailing garbage inside the frame is as corrupt as a short
+            // record.
+            return Err(TraceIoError::CorruptRecord { chunk: here });
+        }
+        self.decoded += 1;
+        Ok(Some(instr))
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<Instr, TraceIoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.next_record() {
+            Ok(Some(instr)) => Some(Ok(instr)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.meta.count - self.decoded) as usize;
+        if self.done {
+            (0, Some(0))
+        } else {
+            // Corruption may end the stream early, so `left` is only an
+            // upper bound.
+            (0, Some(left.saturating_add(1)))
+        }
+    }
+}
+
+/// `read_exact` with truncation mapped to the typed error.
+fn read_exact<R: Read>(
+    src: &mut R,
+    buf: &mut [u8],
+    context: &'static str,
+) -> Result<(), TraceIoError> {
+    src.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            TraceIoError::Truncated { context }
+        } else {
+            TraceIoError::Io(e)
+        }
+    })
+}
+
+/// Reads and validates the header, leaving `src` at the first chunk.
+fn read_header<R: Read>(src: &mut R) -> Result<TraceMeta, TraceIoError> {
+    let mut magic = [0u8; 8];
+    read_exact(src, &mut magic, "header magic")?;
+    if magic != MAGIC {
+        return Err(TraceIoError::BadMagic { found: magic });
+    }
+    let mut fixed = [0u8; 24];
+    read_exact(src, &mut fixed, "header fields")?;
+    let version = u32::from_le_bytes(fixed[0..4].try_into().expect("4 bytes"));
+    if version > FORMAT_VERSION {
+        return Err(TraceIoError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    if version == 0 {
+        return Err(TraceIoError::HeaderCorrupt { detail: "version 0".into() });
+    }
+    let seed = u64::from_le_bytes(fixed[4..12].try_into().expect("8 bytes"));
+    let count = u64::from_le_bytes(fixed[12..20].try_into().expect("8 bytes"));
+    let name_len = u32::from_le_bytes(fixed[20..24].try_into().expect("4 bytes"));
+    if name_len > 4096 {
+        return Err(TraceIoError::HeaderCorrupt {
+            detail: format!("implausible name length {name_len}"),
+        });
+    }
+    let mut name_bytes = vec![0u8; name_len as usize];
+    read_exact(src, &mut name_bytes, "header name")?;
+    let mut fnv_bytes = [0u8; 8];
+    read_exact(src, &mut fnv_bytes, "header checksum")?;
+    let mut body = Vec::with_capacity(32 + name_bytes.len());
+    body.extend_from_slice(&magic);
+    body.extend_from_slice(&fixed);
+    body.extend_from_slice(&name_bytes);
+    if fnv1a(&body) != u64::from_le_bytes(fnv_bytes) {
+        return Err(TraceIoError::HeaderCorrupt { detail: "checksum mismatch".into() });
+    }
+    let name = String::from_utf8(name_bytes)
+        .map_err(|_| TraceIoError::HeaderCorrupt { detail: "name is not UTF-8".into() })?;
+    Ok(TraceMeta { name, seed, count, version })
+}

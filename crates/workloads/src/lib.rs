@@ -28,7 +28,8 @@
 pub mod mixes;
 
 use sdbp_trace::kernel::KernelSpec;
-use sdbp_trace::{SyntheticTrace, TraceBuilder};
+use sdbp_trace::rng::Rng64;
+use sdbp_trace::{GeneratorSource, SyntheticTrace, TraceBuilder, TraceSource};
 
 pub use mixes::{mix, mixes, Mix};
 
@@ -80,13 +81,30 @@ impl Benchmark {
         self.trace_seeded(0)
     }
 
-    /// Builds the stream with a seed offset (used to decorrelate copies of
-    /// the same benchmark across cores in a mix).
+    /// Builds the stream for stream id `salt` (used to decorrelate copies
+    /// of the same benchmark across cores in a mix). The per-stream seed
+    /// is split off the benchmark seed with [`Rng64::fork`] rather than a
+    /// hand-XOR offset, so distinct `(benchmark, salt)` pairs can never
+    /// collide on the same stream.
     pub fn trace_seeded(&self, salt: u64) -> SyntheticTrace {
-        TraceBuilder::new(self.seed() ^ salt)
+        TraceBuilder::new(self.stream_seed(salt))
             .memory_fraction(self.memory_fraction)
             .kernels(self.kernels.iter().cloned())
             .build()
+    }
+
+    /// The builder seed for stream id `salt` (recorded into `.sdbt` trace
+    /// headers so an archived trace documents its generator).
+    pub fn stream_seed(&self, salt: u64) -> u64 {
+        Rng64::seed_from_u64(self.seed()).fork(salt).next_u64()
+    }
+
+    /// This benchmark as a re-openable [`TraceSource`] for stream id
+    /// `salt` — the synthetic half of the generator-or-file choice every
+    /// recording consumer offers.
+    pub fn source(&self, salt: u64) -> impl TraceSource + 'static {
+        let bench = self.clone();
+        GeneratorSource::new(self.name, move || bench.trace_seeded(salt))
     }
 }
 

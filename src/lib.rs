@@ -14,4 +14,5 @@ pub use sdbp_power as power;
 pub use sdbp_predictors as predictors;
 pub use sdbp_replacement as replacement;
 pub use sdbp_trace as trace;
+pub use sdbp_traceio as traceio;
 pub use sdbp_workloads as workloads;
