@@ -1,0 +1,194 @@
+//! The checked-in allowlist (`analyze.toml`): the *audited* exceptions to
+//! the rule set.
+//!
+//! The format is a deliberately small TOML subset — `[[allow]]` array
+//! headers with `key = "value"` string pairs — parsed by hand because
+//! the workspace is std-only. Every entry must carry a `reason`; an
+//! allowlist line without a justification is itself a config error, so
+//! the audit trail can never silently erode. Unknown rule ids are
+//! rejected too, which catches stale entries when rules are renamed.
+//!
+//! ```text
+//! # analyze.toml
+//! [[allow]]
+//! rule = "no-wallclock-in-sim"
+//! path = "crates/bench/src"
+//! reason = "measurement harness; wall-clock time is its output"
+//! ```
+
+use std::path::Path;
+
+/// One audited exception: `rule` is permitted under path prefix `path`
+/// because `reason`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AllowEntry {
+    /// Rule id the exception applies to.
+    pub rule: String,
+    /// Workspace-relative path prefix (a file or a directory).
+    pub path: String,
+    /// Why this exception is sound. Required.
+    pub reason: String,
+}
+
+/// The parsed allowlist.
+#[derive(Clone, Default, Debug)]
+pub struct Config {
+    /// Audited exceptions, in file order.
+    pub allows: Vec<AllowEntry>,
+}
+
+impl Config {
+    /// Parses `text`, validating every entry against `known_rules`.
+    ///
+    /// # Errors
+    ///
+    /// Malformed lines, entries missing `rule`/`path`/`reason`, or
+    /// entries naming unknown rules; messages carry the line number.
+    pub fn parse(text: &str, known_rules: &[&str]) -> Result<Config, String> {
+        let mut allows = Vec::new();
+        let mut current: Option<(AllowEntry, usize)> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(entry) = current.take() {
+                    allows.push(finish_entry(entry, known_rules)?);
+                }
+                current = Some((
+                    AllowEntry { rule: String::new(), path: String::new(), reason: String::new() },
+                    lineno,
+                ));
+                continue;
+            }
+            let Some((key, value)) = parse_kv(line) else {
+                return Err(format!("analyze.toml:{lineno}: cannot parse `{line}`"));
+            };
+            let Some((entry, _)) = current.as_mut() else {
+                return Err(format!(
+                    "analyze.toml:{lineno}: `{key}` outside an [[allow]] entry"
+                ));
+            };
+            match key {
+                "rule" => entry.rule = value,
+                "path" => entry.path = value,
+                "reason" => entry.reason = value,
+                other => {
+                    return Err(format!("analyze.toml:{lineno}: unknown key `{other}`"));
+                }
+            }
+        }
+        if let Some(entry) = current.take() {
+            allows.push(finish_entry(entry, known_rules)?);
+        }
+        Ok(Config { allows })
+    }
+
+    /// Loads and parses `path`; a missing file is an empty config (the
+    /// tool works out of the box on a clean tree).
+    ///
+    /// # Errors
+    ///
+    /// Unreadable files or parse failures.
+    pub fn load(path: &Path, known_rules: &[&str]) -> Result<Config, String> {
+        if !path.exists() {
+            return Ok(Config::default());
+        }
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::parse(&text, known_rules)
+    }
+
+    /// The entry allowing `rule` at `path`, if any.
+    pub fn allows(&self, rule: &str, path: &str) -> Option<&AllowEntry> {
+        self.allows
+            .iter()
+            .find(|a| a.rule == rule && (path == a.path || path.starts_with(a.path.as_str())))
+    }
+}
+
+/// Parses `key = "value"`.
+fn parse_kv(line: &str) -> Option<(&str, String)> {
+    let (key, rest) = line.split_once('=')?;
+    let rest = rest.trim();
+    let inner = rest.strip_prefix('"')?.strip_suffix('"')?;
+    // The subset forbids embedded quotes, so no unescaping is needed.
+    if inner.contains('"') {
+        return None;
+    }
+    Some((key.trim(), inner.to_owned()))
+}
+
+/// Validates a completed entry.
+fn finish_entry(
+    (entry, lineno): (AllowEntry, usize),
+    known_rules: &[&str],
+) -> Result<AllowEntry, String> {
+    if entry.rule.is_empty() || entry.path.is_empty() {
+        return Err(format!(
+            "analyze.toml:{lineno}: [[allow]] entry needs both `rule` and `path`"
+        ));
+    }
+    if entry.reason.is_empty() {
+        return Err(format!(
+            "analyze.toml:{lineno}: [[allow]] for `{}` at `{}` has no `reason` — \
+             every exception must be justified",
+            entry.rule, entry.path
+        ));
+    }
+    if !known_rules.contains(&entry.rule.as_str()) {
+        return Err(format!(
+            "analyze.toml:{lineno}: unknown rule `{}` (known: {})",
+            entry.rule,
+            known_rules.join(", ")
+        ));
+    }
+    Ok(entry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULES: &[&str] = &["no-panic-paths", "no-wallclock-in-sim"];
+
+    #[test]
+    fn parses_entries_and_matches_prefixes() {
+        let text = "# comment\n\n[[allow]]\nrule = \"no-wallclock-in-sim\"\n\
+                    path = \"crates/bench/src\"\nreason = \"measurement harness\"\n";
+        let cfg = Config::parse(text, RULES).expect("parses");
+        assert_eq!(cfg.allows.len(), 1);
+        assert!(cfg.allows("no-wallclock-in-sim", "crates/bench/src/micro.rs").is_some());
+        assert!(cfg.allows("no-wallclock-in-sim", "crates/cache/src/lru.rs").is_none());
+        assert!(cfg.allows("no-panic-paths", "crates/bench/src/micro.rs").is_none());
+    }
+
+    #[test]
+    fn missing_reason_is_rejected() {
+        let text = "[[allow]]\nrule = \"no-panic-paths\"\npath = \"crates/x\"\n";
+        let err = Config::parse(text, RULES).expect_err("must fail");
+        assert!(err.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn unknown_rule_is_rejected() {
+        let text = "[[allow]]\nrule = \"no-such-rule\"\npath = \"x\"\nreason = \"y\"\n";
+        let err = Config::parse(text, RULES).expect_err("must fail");
+        assert!(err.contains("unknown rule"), "{err}");
+    }
+
+    #[test]
+    fn stray_keys_and_garbage_are_rejected() {
+        assert!(Config::parse("rule = \"no-panic-paths\"", RULES).is_err());
+        assert!(Config::parse("[[allow]]\nnot a kv line", RULES).is_err());
+        assert!(Config::parse("[[allow]]\ncolor = \"red\"", RULES).is_err());
+    }
+
+    #[test]
+    fn empty_and_comment_only_configs_are_valid() {
+        assert!(Config::parse("", RULES).expect("empty ok").allows.is_empty());
+        assert!(Config::parse("# nothing\n", RULES).expect("ok").allows.is_empty());
+    }
+}

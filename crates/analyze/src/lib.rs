@@ -1,0 +1,198 @@
+//! `sdbp-analyze`: a workspace invariant linter for the SDBP
+//! reproduction.
+//!
+//! The simulator's correctness claims rest on invariants the compiler
+//! does not check: determinism (same trace + config → byte-identical
+//! results), panic-freedom on I/O paths, and lossless trace encoding.
+//! Each is easy to break with one innocuous-looking line — a `HashMap`
+//! iteration in a report, an `unwrap` on a short read, an `as u32` on a
+//! length. This crate walks every `.rs` file in the workspace with a
+//! hand-rolled, span-tracking lexer (the workspace is std-only, so no
+//! `syn`) and enforces six such invariants as lint rules:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `no-panic-paths` | trace I/O and recording never panic; errors propagate |
+//! | `deterministic-iteration` | no `HashMap`/`HashSet` in aggregation/report paths |
+//! | `no-wallclock-in-sim` | results are a pure function of trace + config |
+//! | `lossless-codec-casts` | no truncating `as` casts in the `.sdbt` codec |
+//! | `seed-discipline` | derived streams use `Rng64::fork`, not seed arithmetic |
+//! | `pub-api-docs` | every `pub` item in library code is documented |
+//!
+//! Findings are span-accurate (`file:line:col`) and rendered both
+//! human-readable and as JSON (`target/analyze-report.json`). Two escape
+//! hatches exist, both requiring a written justification: [`config`]
+//! (`analyze.toml` `[[allow]]` entries) and per-line
+//! `// sdbp-allow(rule): reason` escapes. The binary exits nonzero on
+//! any unsuppressed finding, so CI can gate on it.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+use std::path::PathBuf;
+
+use config::Config;
+use report::{render_human, render_json};
+use rules::all_rules;
+use workspace::{analyze_workspace, find_root};
+
+/// Parsed command-line options.
+#[derive(Debug)]
+struct Options {
+    root: Option<PathBuf>,
+    config: Option<PathBuf>,
+    json_out: Option<PathBuf>,
+    list_rules: bool,
+    quiet: bool,
+}
+
+const USAGE: &str = "usage: sdbp-analyze [--root DIR] [--config FILE] [--json FILE] \
+[--list-rules] [--quiet]
+
+Scans every .rs file in the workspace for invariant violations.
+
+  --root DIR     workspace root (default: nearest [workspace] Cargo.toml)
+  --config FILE  allowlist (default: <root>/analyze.toml)
+  --json FILE    JSON report path (default: <root>/target/analyze-report.json)
+  --list-rules   print the rule table and exit
+  --quiet        suppress per-finding output; print only the summary line
+
+exit status: 0 clean, 1 findings, 2 usage or I/O error";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        config: None,
+        json_out: None,
+        list_rules: false,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root =
+                    Some(it.next().ok_or("--root needs a directory argument")?.into());
+            }
+            "--config" => {
+                opts.config = Some(it.next().ok_or("--config needs a file argument")?.into());
+            }
+            "--json" => {
+                opts.json_out = Some(it.next().ok_or("--json needs a file argument")?.into());
+            }
+            "--list-rules" => opts.list_rules = true,
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Runs the linter CLI; returns the process exit code (0 clean,
+/// 1 findings, 2 error).
+#[must_use]
+pub fn run_cli(args: &[String]) -> i32 {
+    let opts = match parse_args(args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return 2;
+        }
+    };
+    let rules = all_rules();
+    if opts.list_rules {
+        for r in &rules {
+            println!("{:<24} {}", r.id(), r.summary());
+        }
+        return 0;
+    }
+    match run_scan(&opts) {
+        Ok(clean) => i32::from(!clean),
+        Err(msg) => {
+            eprintln!("sdbp-analyze: {msg}");
+            2
+        }
+    }
+}
+
+/// Performs the scan described by `opts`; returns whether the tree is
+/// clean.
+fn run_scan(opts: &Options) -> Result<bool, String> {
+    let rules = all_rules();
+    let root = match &opts.root {
+        Some(r) => r.clone(),
+        None => find_root(&std::env::current_dir().map_err(|e| format!("cwd: {e}"))?)?,
+    };
+    let ids = rules::rule_ids();
+    let config_path = opts.config.clone().unwrap_or_else(|| root.join("analyze.toml"));
+    let config = Config::load(&config_path, &ids)?;
+    let report = analyze_workspace(&root, &rules, &config)?;
+
+    let json_path = opts
+        .json_out
+        .clone()
+        .unwrap_or_else(|| root.join("target").join("analyze-report.json"));
+    if let Some(parent) = json_path.parent() {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+    }
+    std::fs::write(&json_path, render_json(&report, &rules))
+        .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+
+    let human = render_human(&report, &rules);
+    if opts.quiet {
+        if let Some(summary) = human.lines().last() {
+            println!("{summary}");
+        }
+    } else {
+        print!("{human}");
+    }
+    Ok(report.findings.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn unknown_flags_and_missing_values_are_usage_errors() {
+        assert_eq!(run_cli(&args(&["--frobnicate"])), 2);
+        assert_eq!(run_cli(&args(&["--root"])), 2);
+        assert!(parse_args(&args(&["--help"])).is_err());
+    }
+
+    #[test]
+    fn list_rules_exits_clean() {
+        assert_eq!(run_cli(&args(&["--list-rules"])), 0);
+    }
+
+    #[test]
+    fn scan_of_clean_and_dirty_trees_yields_exit_codes() {
+        let tmp = std::env::temp_dir().join(format!("sdbp-analyze-cli-{}", std::process::id()));
+        let src_dir = tmp.join("crates/traceio/src");
+        std::fs::create_dir_all(&src_dir).expect("mkdir");
+        std::fs::write(tmp.join("Cargo.toml"), "[workspace]\n").expect("manifest");
+        std::fs::write(src_dir.join("clean.rs"), "fn f() -> u32 { 0 }\n").expect("write");
+        let root = tmp.to_string_lossy().into_owned();
+        assert_eq!(run_cli(&args(&["--root", &root, "--quiet"])), 0);
+
+        std::fs::write(src_dir.join("dirty.rs"), "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n")
+            .expect("write");
+        assert_eq!(run_cli(&args(&["--root", &root, "--quiet"])), 1);
+        let json = std::fs::read_to_string(tmp.join("target/analyze-report.json"))
+            .expect("report written");
+        assert!(json.contains("\"clean\":false"));
+        std::fs::remove_dir_all(&tmp).expect("cleanup");
+    }
+}

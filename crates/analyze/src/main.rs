@@ -1,0 +1,6 @@
+//! `sdbp-analyze` binary: thin wrapper over [`sdbp_analyze::run_cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(sdbp_analyze::run_cli(&args));
+}

@@ -1,0 +1,153 @@
+//! `lossless-codec-casts`: no silently-truncating integer casts inside
+//! the `.sdbt` codec.
+//!
+//! A truncating `as` cast in the varint/delta codec corrupts traces
+//! *silently*: the write succeeds, the checksums are computed over the
+//! truncated bytes, and only a later replay divergence reveals the loss —
+//! the worst possible failure for a format whose whole contract is
+//! byte-identical record/replay (PR 2, CI's record-replay-diff gate).
+//!
+//! Scope: the encode/decode files of `sdbp-traceio`. Flags `as` casts to
+//! narrow integer types (u8/u16/u32 and signed siblings) unless the
+//! value is visibly masked to fit on the same line (`(v & 0x7f) as u8` is
+//! the varint idiom and provably lossless). Casts to 64-bit and to
+//! `usize` are not flagged: 64-bit targets cannot truncate the codec's
+//! values, and `usize` is at least 32 bits on every supported target.
+//! Deliberate remaining casts carry `sdbp-allow` with the invariant that
+//! makes them safe.
+
+use super::{finding_at, in_scope, Finding, Rule};
+use crate::lexer::{int_literal_value, TokenKind};
+use crate::source::{FileClass, SourceFile};
+
+const SCOPE: &[&str] = &[
+    "crates/traceio/src/format.rs",
+    "crates/traceio/src/reader.rs",
+    "crates/traceio/src/writer.rs",
+];
+
+/// Maximum value representable by each flagged narrow target.
+fn narrow_max(ty: &str) -> Option<u128> {
+    Some(match ty {
+        "u8" => u128::from(u8::MAX),
+        "u16" => u128::from(u16::MAX),
+        "u32" => u128::from(u32::MAX),
+        "i8" => i8::MAX as u128,
+        "i16" => i16::MAX as u128,
+        "i32" => i32::MAX as u128,
+        _ => return None,
+    })
+}
+
+/// See the [module docs](self).
+#[derive(Debug)]
+pub struct LosslessCodecCasts;
+
+impl Rule for LosslessCodecCasts {
+    fn id(&self) -> &'static str {
+        "lossless-codec-casts"
+    }
+
+    fn summary(&self) -> &'static str {
+        "truncating `as` casts in the trace codec (mask or use checked conversion)"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if file.class != FileClass::Library || !in_scope(&file.rel_path, SCOPE) {
+            return;
+        }
+        let toks = &file.lexed.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Ident || file.text(t) != "as" || file.in_test(t.start) {
+                continue;
+            }
+            let Some(target) = toks.get(i + 1) else { continue };
+            let Some(max) = narrow_max(file.text(target)) else { continue };
+            if masked_to_fit(file, i, max) {
+                continue;
+            }
+            out.push(finding_at(
+                self.id(),
+                file,
+                t.start,
+                format!(
+                    "`as {}` can truncate in the trace codec; mask the value on the \
+                     same line (`& 0x..`) or use a checked conversion",
+                    file.text(target)
+                ),
+            ));
+        }
+    }
+}
+
+/// Whether the expression cast at token index `as_idx` is visibly masked
+/// to fit `max`: a `& LITERAL` with `LITERAL <= max` appears among the
+/// tokens of the same source line before the `as`.
+fn masked_to_fit(file: &SourceFile, as_idx: usize, max: u128) -> bool {
+    let toks = &file.lexed.tokens;
+    let (as_line, _) = file.line_col(toks[as_idx].start);
+    let mut j = as_idx;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        if file.line_col(t.start).0 != as_line {
+            return false;
+        }
+        if t.kind == TokenKind::Punct && file.text(t) == "&" {
+            if let Some(lit) = toks.get(j + 1) {
+                if lit.kind == TokenKind::Number {
+                    if let Some(v) = int_literal_value(file.text(lit)) {
+                        if v <= max {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::from_source(path, src.to_owned());
+        let mut out = Vec::new();
+        LosslessCodecCasts.check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unmasked_narrowing_casts() {
+        let src = "fn f(n: usize) -> u32 { n as u32 }";
+        let found = run("crates/traceio/src/writer.rs", src);
+        assert_eq!(found.len(), 1, "{found:?}");
+    }
+
+    #[test]
+    fn masked_casts_are_lossless() {
+        let src = "fn f(v: u64) -> u8 { (v & 0x7f) as u8 }";
+        assert!(run("crates/traceio/src/format.rs", src).is_empty());
+    }
+
+    #[test]
+    fn oversized_masks_do_not_count() {
+        let src = "fn f(v: u64) -> u8 { (v & 0xfff) as u8 }";
+        assert_eq!(run("crates/traceio/src/format.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn wide_targets_and_usize_are_not_flagged() {
+        let src = "fn f(v: u32) -> u64 { let _ = v as usize; v as u64 }";
+        assert!(run("crates/traceio/src/reader.rs", src).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_codec_free_files_are_ignored() {
+        let src = "fn f(n: usize) -> u32 { n as u32 }";
+        assert!(run("crates/traceio/src/error.rs", src).is_empty());
+        assert!(run("crates/cache/src/cache.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,95 @@
+//! `deterministic-iteration`: report and aggregation paths must never
+//! iterate a hashed container.
+//!
+//! The engine's submission-order-deterministic aggregation (PR 1) and the
+//! byte-identical replay guarantee (PR 2) both die silently the moment a
+//! `HashMap` iteration order leaks into an output path: the same run
+//! starts producing differently-ordered JSON rows, and byte-level diffs
+//! (the CI record/replay gate) go red nondeterministically. This is the
+//! variability failure mode reuse-prediction replications warn about
+//! (PAPERS.md, "Addressing Variability in Reuse Prediction").
+//!
+//! Scope: engine source, and the harness's result-producing modules.
+//! `HashMap`/`HashSet` are banned there outright (lookup-only uses would
+//! be fine in principle, but an ordered `BTreeMap` costs nothing at
+//! report scale and cannot regress into iteration later).
+
+use super::{finding_at, in_scope, Finding, Rule};
+use crate::lexer::TokenKind;
+use crate::source::{FileClass, SourceFile};
+
+const SCOPE: &[&str] = &[
+    "crates/engine/src/",
+    "crates/harness/src/runner.rs",
+    "crates/harness/src/table.rs",
+    "crates/harness/src/experiments/",
+];
+
+/// See the [module docs](self).
+#[derive(Debug)]
+pub struct DeterministicIteration;
+
+impl Rule for DeterministicIteration {
+    fn id(&self) -> &'static str {
+        "deterministic-iteration"
+    }
+
+    fn summary(&self) -> &'static str {
+        "HashMap/HashSet in aggregation or report paths (use BTreeMap or sort)"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if file.class != FileClass::Library || !in_scope(&file.rel_path, SCOPE) {
+            return;
+        }
+        for t in &file.lexed.tokens {
+            if t.kind != TokenKind::Ident || file.in_test(t.start) {
+                continue;
+            }
+            let text = file.text(t);
+            if matches!(text, "HashMap" | "HashSet") {
+                out.push(finding_at(
+                    self.id(),
+                    file,
+                    t.start,
+                    format!(
+                        "`{text}` in a report/aggregation path; iteration order is \
+                         nondeterministic — use `BTreeMap`/`BTreeSet` or sort keys \
+                         explicitly"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::from_source(path, src.to_owned());
+        let mut out = Vec::new();
+        DeterministicIteration.check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_hashed_containers_in_report_paths() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }";
+        let found = run("crates/engine/src/report.rs", src);
+        assert_eq!(found.len(), 3, "{found:?}");
+    }
+
+    #[test]
+    fn btree_is_fine_and_other_paths_are_out_of_scope() {
+        assert!(run("crates/engine/src/report.rs", "use std::collections::BTreeMap;").is_empty());
+        assert!(run("crates/trace/src/stats.rs", "use std::collections::HashSet;").is_empty());
+    }
+
+    #[test]
+    fn test_modules_may_use_hashed_containers() {
+        let src = "#[cfg(test)]\nmod tests { use std::collections::HashSet; }";
+        assert!(run("crates/engine/src/lib.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,215 @@
+//! `pub-api-docs`: every `pub` item in library code carries a doc
+//! comment.
+//!
+//! Most workspace crates already opt into `#![warn(missing_docs)]`, but
+//! that lint is per-crate and opt-in; a new crate (or a removed
+//! attribute) silently reopens the gap. This rule enforces the same
+//! contract workspace-wide, from outside the compiler, so CI catches it
+//! even where the attribute is missing.
+//!
+//! An item is documented when an outer doc comment (`///` or `/** */`)
+//! or a `#[doc = ...]` attribute sits between the previous code token
+//! and the `pub` keyword (attributes in between are fine). Re-exports
+//! (`pub use`) and restricted visibility (`pub(crate)` etc.) are not
+//! public API surface and are skipped; struct fields are left to the
+//! judgment of `missing_docs`.
+
+use super::{finding_at, Finding, Rule};
+use crate::lexer::{CommentKind, TokenKind};
+use crate::source::{FileClass, SourceFile};
+
+/// Item keywords that introduce a documentable `pub` item.
+const ITEM_KEYWORDS: &[&str] =
+    &["fn", "struct", "enum", "trait", "const", "static", "type", "mod", "union"];
+
+/// Modifier keywords that may sit between `pub` and the item keyword.
+const MODIFIERS: &[&str] = &["unsafe", "async", "extern"];
+
+/// See the [module docs](self).
+#[derive(Debug)]
+pub struct PubApiDocs;
+
+impl Rule for PubApiDocs {
+    fn id(&self) -> &'static str {
+        "pub-api-docs"
+    }
+
+    fn summary(&self) -> &'static str {
+        "undocumented `pub` items in library crates"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if file.class != FileClass::Library {
+            return;
+        }
+        let toks = &file.lexed.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Ident || file.text(t) != "pub" || file.in_test(t.start) {
+                continue;
+            }
+            let Some(kind) = pub_item_kind(file, i) else { continue };
+            if is_documented(file, i) {
+                continue;
+            }
+            out.push(finding_at(
+                self.id(),
+                file,
+                t.start,
+                format!("undocumented `pub {kind}`; add a `///` doc comment"),
+            ));
+        }
+    }
+}
+
+/// If the `pub` at token index `i` introduces a documentable item,
+/// returns the item keyword (`fn`, `struct`, ...).
+fn pub_item_kind(file: &SourceFile, i: usize) -> Option<&str> {
+    let toks = &file.lexed.tokens;
+    let mut j = i + 1;
+    // `pub(crate)` / `pub(super)` / `pub(in ...)`: restricted visibility.
+    if toks.get(j).is_some_and(|t| t.kind == TokenKind::Punct) && file.text(&toks[j]) == "(" {
+        return None;
+    }
+    loop {
+        let t = toks.get(j)?;
+        let text = file.text(t);
+        if t.kind == TokenKind::Str || MODIFIERS.contains(&text) {
+            // `extern "C" fn` — skip the ABI string and modifiers.
+            j += 1;
+        } else if text == "const" {
+            // `pub const fn f` (modifier) vs `pub const X` (item).
+            if toks.get(j + 1).is_some_and(|n| file.text(n) == "fn") {
+                j += 1;
+            } else {
+                return Some("const");
+            }
+        } else if ITEM_KEYWORDS.contains(&text) {
+            let name = toks.get(j + 1)?;
+            // `pub fn $name` inside a `macro_rules!` body: the expansion
+            // site owns the docs, not the template.
+            if file.text(name) == "$" {
+                return None;
+            }
+            // `pub mod foo;` is documented by foo.rs's own `//!` docs
+            // (matching rustc's `missing_docs`); only inline
+            // `pub mod foo { ... }` bodies are checked here.
+            if text == "mod"
+                && toks.get(j + 2).is_some_and(|t| file.text(t) == ";")
+            {
+                return None;
+            }
+            return Some(text);
+        } else {
+            // `pub use`, macro invocations, anything else: not an item
+            // this rule covers.
+            return None;
+        }
+    }
+}
+
+/// Whether the `pub` at token index `i` has an attached outer doc
+/// comment or `#[doc]` attribute.
+fn is_documented(file: &SourceFile, i: usize) -> bool {
+    let toks = &file.lexed.tokens;
+    // Walk backwards over any attributes directly above the item; note
+    // whether one of them is `#[doc ...]`.
+    let mut p = i;
+    while p > 0 {
+        let prev = &toks[p - 1];
+        if prev.kind == TokenKind::Punct && file.text(prev) == "]" {
+            // Find the matching `[` and the `#` before it.
+            let mut depth = 1usize;
+            let mut q = p - 1;
+            while q > 0 && depth > 0 {
+                q -= 1;
+                match (toks[q].kind, file.text(&toks[q])) {
+                    (TokenKind::Punct, "]") => depth += 1,
+                    (TokenKind::Punct, "[") => depth -= 1,
+                    _ => {}
+                }
+            }
+            if q == 0 || file.text(&toks[q - 1]) != "#" {
+                break;
+            }
+            if toks.get(q + 1).is_some_and(|t| file.text(t) == "doc") {
+                return true;
+            }
+            p = q - 1;
+        } else {
+            break;
+        }
+    }
+    // The gap between the previous code token and the item (attributes
+    // included) must contain an outer doc comment.
+    let gap_start = p.checked_sub(1).map_or(0, |q| toks[q].end);
+    let gap_end = toks[i].start;
+    file.lexed.comments.iter().any(|c| {
+        c.kind == CommentKind::DocOuter && c.start >= gap_start && c.end <= gap_end
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::from_source(path, src.to_owned());
+        let mut out = Vec::new();
+        PubApiDocs.check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_undocumented_pub_items() {
+        let src = "pub fn f() {}\npub struct S;\npub const X: u32 = 1;";
+        let found = run("crates/cache/src/lib.rs", src);
+        assert_eq!(found.len(), 3, "{found:?}");
+    }
+
+    #[test]
+    fn documented_items_pass_with_attributes_between() {
+        let src = "/// Documented.\n#[derive(Debug)]\npub struct S;\n\
+                   /// Also documented.\npub fn f() {}\n\
+                   #[doc = \"attr-doc\"]\npub fn g() {}";
+        assert!(run("crates/cache/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn reexports_and_restricted_visibility_are_skipped() {
+        let src = "pub use foo::Bar;\npub(crate) fn internal() {}\npub(super) struct T;";
+        assert!(run("crates/cache/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn module_inner_docs_do_not_document_the_first_item() {
+        let src = "//! Module docs.\n\npub fn f() {}";
+        assert_eq!(run("crates/cache/src/lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn const_fn_and_unsafe_fn_are_detected() {
+        let src = "pub const fn f() {}\npub unsafe fn g() {}\npub const X: u8 = 0;";
+        let found = run("crates/cache/src/lib.rs", src);
+        assert_eq!(found.len(), 3);
+        assert!(found[0].message.contains("pub fn"));
+        assert!(found[2].message.contains("pub const"));
+    }
+
+    #[test]
+    fn mod_declarations_and_macro_templates_are_skipped() {
+        let src = "pub mod reader;\npub mod writer;\n\
+                   macro_rules! m { ($name:ident) => { pub fn $name() {} } }";
+        assert!(run("crates/traceio/src/lib.rs", src).is_empty());
+        // Inline module bodies still need docs.
+        let inline = "pub mod helpers { }";
+        assert_eq!(run("crates/traceio/src/lib.rs", inline).len(), 1);
+    }
+
+    #[test]
+    fn doc_comment_before_previous_item_does_not_leak() {
+        let src = "/// Docs for f.\npub fn f() {}\npub fn g() {}";
+        let found = run("crates/cache/src/lib.rs", src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].snippet.contains("g"));
+    }
+}

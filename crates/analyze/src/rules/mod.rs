@@ -1,0 +1,124 @@
+//! The rule engine: each rule is a pattern over the token stream of one
+//! [`SourceFile`], reporting span-accurate [`Finding`]s.
+//!
+//! Rules are deliberately *lexical*: the workspace is std-only and
+//! offline, so there is no type information to lean on. Each rule is
+//! therefore scoped to the paths where its invariant actually matters
+//! (see each rule's module docs), which keeps the false-positive rate
+//! near zero — and anything residual is handled by the two escape
+//! hatches ([`crate::config`] allowlist entries and `// sdbp-allow(rule)`
+//! line escapes).
+
+mod casts;
+mod det_iter;
+mod docs;
+mod panic_paths;
+mod seed;
+mod wallclock;
+
+use crate::source::SourceFile;
+
+pub use casts::LosslessCodecCasts;
+pub use det_iter::DeterministicIteration;
+pub use docs::PubApiDocs;
+pub use panic_paths::NoPanicPaths;
+pub use seed::SeedDiscipline;
+pub use wallclock::NoWallclockInSim;
+
+/// One diagnostic: where, which rule, and why.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Finding {
+    /// Stable rule identifier (e.g. `no-panic-paths`).
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (characters).
+    pub col: u32,
+    /// What is wrong and what to do instead.
+    pub message: String,
+    /// The full offending source line, trimmed, for context.
+    pub snippet: String,
+}
+
+/// A single invariant check over one file.
+pub trait Rule {
+    /// Stable identifier used in reports, the allowlist, and
+    /// `sdbp-allow(...)` escapes.
+    fn id(&self) -> &'static str;
+
+    /// One-line description of the invariant the rule protects.
+    fn summary(&self) -> &'static str;
+
+    /// Scans `file`, appending findings to `out`.
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>);
+}
+
+/// Every rule, in stable report order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NoPanicPaths),
+        Box::new(DeterministicIteration),
+        Box::new(NoWallclockInSim),
+        Box::new(LosslessCodecCasts),
+        Box::new(SeedDiscipline),
+        Box::new(PubApiDocs),
+    ]
+}
+
+/// The stable id list (for config validation and `--list-rules`).
+pub fn rule_ids() -> Vec<&'static str> {
+    all_rules().iter().map(|r| r.id()).collect()
+}
+
+/// Whether `path` falls under any of `prefixes` (exact file or directory
+/// prefix).
+pub(crate) fn in_scope(path: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| path == *p || path.starts_with(p))
+}
+
+/// Builds a [`Finding`] anchored at byte offset `byte` of `file`.
+pub(crate) fn finding_at(
+    rule: &'static str,
+    file: &SourceFile,
+    byte: usize,
+    message: String,
+) -> Finding {
+    let (line, col) = file.line_col(byte);
+    Finding {
+        rule,
+        path: file.rel_path.clone(),
+        line,
+        col,
+        message,
+        snippet: file.line_text(line).trim().to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_are_unique_and_kebab_case() {
+        let ids = rule_ids();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "duplicate rule id");
+        for id in ids {
+            assert!(
+                id.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "rule id {id} is not kebab-case"
+            );
+        }
+    }
+
+    #[test]
+    fn scope_matches_files_and_directories() {
+        assert!(in_scope("crates/traceio/src/reader.rs", &["crates/traceio/src/"]));
+        assert!(in_scope("crates/cache/src/recorder.rs", &["crates/cache/src/recorder.rs"]));
+        assert!(!in_scope("crates/cache/src/replay.rs", &["crates/cache/src/recorder.rs"]));
+    }
+}

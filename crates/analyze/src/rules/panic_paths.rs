@@ -1,0 +1,163 @@
+//! `no-panic-paths`: the streaming and aggregation layers must report
+//! failures as typed errors, never panic.
+//!
+//! Scope: non-test library code of `sdbp-traceio` (a corrupt archive must
+//! surface as a [`TraceIoError`], the property PR 2's corruption suite
+//! depends on), `sdbp-engine` (a panicking worker must be *isolated*, not
+//! joined by a panicking aggregator), and `cache::recorder` (the fallible
+//! recording path feeding both).
+//!
+//! Flags `.unwrap()`, `.expect(...)`, `panic!`, `todo!`, `unimplemented!`,
+//! and `[]`-indexing expressions (which can panic on out-of-bounds; use
+//! `.get()`, pattern matching, or fixed-size reads instead).
+
+use super::{finding_at, in_scope, Finding, Rule};
+use crate::source::{FileClass, SourceFile};
+use crate::lexer::TokenKind;
+
+const SCOPE: &[&str] = &[
+    "crates/traceio/src/",
+    "crates/engine/src/",
+    "crates/cache/src/recorder.rs",
+];
+
+/// See the [module docs](self).
+#[derive(Debug)]
+pub struct NoPanicPaths;
+
+impl Rule for NoPanicPaths {
+    fn id(&self) -> &'static str {
+        "no-panic-paths"
+    }
+
+    fn summary(&self) -> &'static str {
+        "unwrap/expect/panic!/todo!/[]-indexing in error-propagating library code"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if file.class != FileClass::Library || !in_scope(&file.rel_path, SCOPE) {
+            return;
+        }
+        let toks = &file.lexed.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if file.in_test(t.start) {
+                continue;
+            }
+            let text = file.text(t);
+            let prev = i.checked_sub(1).and_then(|p| toks.get(p));
+            let next = toks.get(i + 1);
+            let prev_text = prev.map_or("", |p| file.text(p));
+            let next_text = next.map_or("", |n| file.text(n));
+            match t.kind {
+                TokenKind::Ident
+                    if matches!(text, "unwrap" | "expect")
+                        && prev_text == "."
+                        && next_text == "(" =>
+                {
+                    out.push(finding_at(
+                        self.id(),
+                        file,
+                        t.start,
+                        format!(
+                            "`.{text}()` in error-propagating library code; \
+                             return a typed error instead"
+                        ),
+                    ));
+                }
+                TokenKind::Ident
+                    if matches!(text, "panic" | "todo" | "unimplemented")
+                        && next_text == "!"
+                        && prev_text != "." =>
+                {
+                    out.push(finding_at(
+                        self.id(),
+                        file,
+                        t.start,
+                        format!("`{text}!` in error-propagating library code"),
+                    ));
+                }
+                TokenKind::Punct if text == "[" => {
+                    // An index expression: `expr[...]` — the `[` directly
+                    // follows an identifier, `)`, or `]`. Array literals,
+                    // types, and attributes follow other tokens (`=`, `:`,
+                    // `(`, `#`, `!`, ...).
+                    let indexes = match prev {
+                        Some(p) => {
+                            p.kind == TokenKind::Ident && !is_keyword(prev_text)
+                                || (p.kind == TokenKind::Punct
+                                    && matches!(prev_text, ")" | "]"))
+                        }
+                        None => false,
+                    };
+                    if indexes {
+                        out.push(finding_at(
+                            self.id(),
+                            file,
+                            t.start,
+                            "`[]` indexing can panic; use `.get()`, pattern matching, \
+                             or fixed-size reads"
+                                .to_owned(),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Keywords that may directly precede `[` without forming an index
+/// expression (`return [..]`, `break [..]`, `in [..]`, ...).
+fn is_keyword(text: &str) -> bool {
+    matches!(
+        text,
+        "return" | "break" | "in" | "if" | "else" | "match" | "mut" | "ref" | "move" | "as"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::from_source(path, src.to_owned());
+        let mut out = Vec::new();
+        NoPanicPaths.check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_panics_in_scope() {
+        let src = "fn f() { a.unwrap(); b.expect(\"x\"); panic!(\"y\"); todo!(); }";
+        let found = run("crates/traceio/src/reader.rs", src);
+        assert_eq!(found.len(), 4, "{found:?}");
+    }
+
+    #[test]
+    fn flags_index_expressions_but_not_literals_or_types() {
+        let src = "fn f(v: &[u8]) -> [u8; 4] { let a = [0u8; 4]; let x = v[0]; a }";
+        let found = run("crates/engine/src/lib.rs", src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("indexing"));
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        let src = "fn f() { a.unwrap_or(0); b.unwrap_or_else(|| 1); c.unwrap_or_default(); }";
+        assert!(run("crates/traceio/src/reader.rs", src).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_and_test_code_are_ignored() {
+        let src = "fn f() { a.unwrap(); }";
+        assert!(run("crates/cache/src/replay.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests { fn t() { a.unwrap(); } }";
+        assert!(run("crates/traceio/src/reader.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn vec_macro_and_attributes_are_not_indexing() {
+        let src = "#[derive(Debug)]\nstruct S;\nfn f() { let v = vec![1, 2]; }";
+        assert!(run("crates/engine/src/lib.rs", src).is_empty());
+    }
+}

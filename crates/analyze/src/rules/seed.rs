@@ -1,0 +1,109 @@
+//! `seed-discipline`: derived random streams come from [`Rng64::fork`],
+//! never from ad-hoc seed arithmetic.
+//!
+//! PR 2 introduced SplitMix64 stream splitting (`Rng64::fork`) precisely
+//! because `seed + core` / `seed ^ id` derivations produce correlated
+//! streams: two workloads whose hand-derived seeds collide replay
+//! overlapping address sequences, quietly biasing every cross-workload
+//! comparison. This rule flags arithmetic (`+ - * ^ |` or `wrapping_*`
+//! calls) applied directly to any identifier containing `seed`, anywhere
+//! outside the RNG implementation itself.
+
+use super::{finding_at, Finding, Rule};
+use crate::lexer::TokenKind;
+use crate::source::{FileClass, SourceFile};
+
+/// The one place allowed to do seed arithmetic: the generator that
+/// implements forking.
+const EXEMPT: &[&str] = &["crates/trace/src/rng.rs"];
+
+/// See the [module docs](self).
+#[derive(Debug)]
+pub struct SeedDiscipline;
+
+impl Rule for SeedDiscipline {
+    fn id(&self) -> &'static str {
+        "seed-discipline"
+    }
+
+    fn summary(&self) -> &'static str {
+        "ad-hoc seed arithmetic instead of Rng64::fork stream splitting"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if file.class != FileClass::Library
+            || EXEMPT.contains(&file.rel_path.as_str())
+        {
+            return;
+        }
+        let toks = &file.lexed.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Ident || file.in_test(t.start) {
+                continue;
+            }
+            let text = file.text(t);
+            if !text.to_ascii_lowercase().contains("seed") {
+                continue;
+            }
+            let next = toks.get(i + 1);
+            let next_text = next.map_or("", |n| file.text(n));
+            let prev = i.checked_sub(1).and_then(|p| toks.get(p));
+            let prev_text = prev.map_or("", |p| file.text(p));
+            // `seed + x`, `x ^ seed`, ... — but `&seed` (borrow), `*seed`
+            // (deref), `|seed|` (closure), and unary `-` are not
+            // arithmetic, so each side matches only its unambiguous
+            // operators.
+            let arithmetic_after = next.is_some_and(|n| n.kind == TokenKind::Punct)
+                && matches!(next_text, "+" | "-" | "*" | "^" | "%");
+            let arithmetic_before = prev.is_some_and(|p| p.kind == TokenKind::Punct)
+                && matches!(prev_text, "+" | "^" | "%");
+            // `seed.wrapping_add(...)` and friends.
+            let wrapping_call = next_text == "."
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|m| file.text(m).starts_with("wrapping_"));
+            if arithmetic_after || arithmetic_before || wrapping_call {
+                out.push(finding_at(
+                    self.id(),
+                    file,
+                    t.start,
+                    format!(
+                        "arithmetic on `{text}` derives correlated streams; use \
+                         `Rng64::fork(stream_id)` to split seeds"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::from_source(path, src.to_owned());
+        let mut out = Vec::new();
+        SeedDiscipline.check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_seed_arithmetic_forms() {
+        assert_eq!(run("crates/workloads/src/lib.rs", "fn f(seed: u64, c: u64) -> u64 { seed + c }").len(), 1);
+        assert_eq!(run("crates/workloads/src/lib.rs", "fn f(seed: u64, c: u64) -> u64 { c ^ seed }").len(), 1);
+        assert_eq!(run("crates/workloads/src/lib.rs", "fn f(base_seed: u64) -> u64 { base_seed.wrapping_mul(3) }").len(), 1);
+    }
+
+    #[test]
+    fn plain_seed_uses_are_fine() {
+        let src = "fn f(seed: u64) { let r = Rng64::new(seed); let s = r.fork(seed); let b = seed.to_le_bytes(); }";
+        assert!(run("crates/workloads/src/lib.rs", src).is_empty(), "construction, forking, serialization");
+    }
+
+    #[test]
+    fn rng_implementation_is_exempt() {
+        let src = "fn fork(&self, id: u64) -> u64 { self.seed ^ id }";
+        assert!(run("crates/trace/src/rng.rs", src).is_empty());
+    }
+}

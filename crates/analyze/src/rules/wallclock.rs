@@ -1,0 +1,89 @@
+//! `no-wallclock-in-sim`: simulation results must be a pure function of
+//! the trace and the configuration.
+//!
+//! `Instant`/`SystemTime` anywhere in simulation library code is a red
+//! flag: a policy, predictor, or generator that consults wall-clock time
+//! produces run-to-run variation that no seed pins down — exactly what
+//! the single-pass SDBP evaluation (PAPER.md §4) must exclude. Timing
+//! *telemetry* is legitimate, but only in the measurement layers (the
+//! engine's instrumentation, the CLI's progress reporting, the bench
+//! crate), all of which are enumerated in the committed `analyze.toml`
+//! with their justifications.
+//!
+//! Scope: every non-test library file; binaries (`src/bin/**`) are
+//! exempt, since progress timing on stderr is CLI behavior, not
+//! simulation state.
+
+use super::{finding_at, Finding, Rule};
+use crate::lexer::TokenKind;
+use crate::source::{FileClass, SourceFile};
+
+/// See the [module docs](self).
+#[derive(Debug)]
+pub struct NoWallclockInSim;
+
+impl Rule for NoWallclockInSim {
+    fn id(&self) -> &'static str {
+        "no-wallclock-in-sim"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Instant/SystemTime in simulation code (telemetry layers are allowlisted)"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if file.class != FileClass::Library {
+            return;
+        }
+        for t in &file.lexed.tokens {
+            if t.kind != TokenKind::Ident || file.in_test(t.start) {
+                continue;
+            }
+            let text = file.text(t);
+            if matches!(text, "Instant" | "SystemTime") {
+                out.push(finding_at(
+                    self.id(),
+                    file,
+                    t.start,
+                    format!(
+                        "`{text}` in simulation library code; results must be a pure \
+                         function of trace + config (telemetry layers belong in \
+                         analyze.toml with a reason)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::from_source(path, src.to_owned());
+        let mut out = Vec::new();
+        NoWallclockInSim.check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_wallclock_in_library_code() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }";
+        assert_eq!(run("crates/cache/src/replay.rs", src).len(), 2);
+        let src2 = "fn f() { let t = std::time::SystemTime::now(); }";
+        assert_eq!(run("crates/trace/src/synthetic.rs", src2).len(), 1);
+    }
+
+    #[test]
+    fn binaries_and_tests_are_exempt() {
+        let src = "use std::time::Instant;";
+        assert!(run("crates/harness/src/bin/sdbp_repro.rs", src).is_empty());
+        assert!(run("crates/cache/tests/properties.rs", src).is_empty());
+    }
+
+    #[test]
+    fn duration_is_fine() {
+        assert!(run("crates/cpu/src/lib.rs", "use std::time::Duration;").is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! Workspace discovery and the scan driver.
+//!
+//! Walks every `.rs` file under the workspace root in sorted order
+//! (skipping `target/`, `.git/`, and the linter's own `tests/fixtures`
+//! corpus of intentionally-bad snippets), runs every rule over every
+//! file, then filters the raw findings through the two escape hatches:
+//! `analyze.toml` allowlist entries and per-line
+//! `// sdbp-allow(rule): reason` escapes. Escapes without a reason text
+//! are ignored — an unexplained suppression is no suppression.
+
+use std::path::{Path, PathBuf};
+
+use crate::config::Config;
+use crate::report::{sort_findings, Allowed, Report};
+use crate::rules::{Finding, Rule};
+use crate::source::SourceFile;
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "node_modules"];
+
+/// Path prefixes excluded from the scan: the fixture corpus is
+/// *deliberately* full of violations.
+const SKIP_PREFIXES: &[&str] = &["crates/analyze/tests/fixtures/"];
+
+/// Finds the workspace root at or above `start`: the nearest ancestor
+/// holding a `Cargo.toml` with a `[workspace]` section.
+///
+/// # Errors
+///
+/// No such ancestor exists.
+pub fn find_root(start: &Path) -> Result<PathBuf, String> {
+    let mut dir = start
+        .canonicalize()
+        .map_err(|e| format!("cannot resolve {}: {e}", start.display()))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest)
+                .map_err(|e| format!("cannot read {}: {e}", manifest.display()))?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(format!(
+                "no workspace Cargo.toml found at or above {}",
+                start.display()
+            ));
+        }
+    }
+}
+
+/// Collects every workspace-relative `.rs` path under `root`, sorted.
+///
+/// # Errors
+///
+/// Directory reads fail.
+pub fn collect_rust_files(root: &Path) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    walk(root, root, &mut out)?;
+    out.sort_unstable();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walk error under {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| format!("path {} escapes root: {e}", path.display()))?;
+            let rel = rel.to_string_lossy().replace('\\', "/");
+            if SKIP_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+                continue;
+            }
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Scans the workspace at `root` with `rules` under `config`, returning
+/// the filtered, deterministically-ordered report.
+///
+/// # Errors
+///
+/// File reads fail; individual findings never error.
+pub fn analyze_workspace(
+    root: &Path,
+    rules: &[Box<dyn Rule>],
+    config: &Config,
+) -> Result<Report, String> {
+    let files = collect_rust_files(root)?;
+    let mut report = Report { files_scanned: files.len(), ..Report::default() };
+    for rel in &files {
+        let abs = root.join(rel);
+        let src = std::fs::read_to_string(&abs)
+            .map_err(|e| format!("cannot read {}: {e}", abs.display()))?;
+        let file = SourceFile::from_source(rel, src);
+        let mut raw = Vec::new();
+        for rule in rules {
+            rule.check(&file, &mut raw);
+        }
+        for finding in raw {
+            route_finding(&file, config, finding, &mut report);
+        }
+    }
+    sort_findings(&mut report.findings);
+    report.allowed.sort_by(|a, b| {
+        (a.finding.path.as_str(), a.finding.line, a.finding.col, a.finding.rule)
+            .cmp(&(b.finding.path.as_str(), b.finding.line, b.finding.col, b.finding.rule))
+    });
+    Ok(report)
+}
+
+/// Sends `finding` to the failing or the allowed bucket.
+fn route_finding(file: &SourceFile, config: &Config, finding: Finding, report: &mut Report) {
+    if let Some(entry) = config.allows(finding.rule, &finding.path) {
+        report.allowed.push(Allowed {
+            finding,
+            source: "analyze.toml",
+            reason: entry.reason.clone(),
+        });
+        return;
+    }
+    if let Some(reason) = line_escape_reason(file, &finding) {
+        report.allowed.push(Allowed { finding, source: "line-escape", reason });
+        return;
+    }
+    report.findings.push(finding);
+}
+
+/// Looks for `sdbp-allow(<rule>): <reason>` in a comment on the
+/// finding's line or the line directly above. Returns the reason text;
+/// an escape with an empty reason does not count.
+fn line_escape_reason(file: &SourceFile, finding: &Finding) -> Option<String> {
+    for line in [finding.line, finding.line.saturating_sub(1)] {
+        if line == 0 {
+            continue;
+        }
+        let text = file.line_text(line);
+        let Some(pos) = text.find("sdbp-allow(") else { continue };
+        // Only honor the marker inside a comment, not in string data.
+        if !text[..pos].contains("//") {
+            continue;
+        }
+        let rest = &text[pos + "sdbp-allow(".len()..];
+        let Some(close) = rest.find(')') else { continue };
+        if rest[..close].trim() != finding.rule {
+            continue;
+        }
+        let after = rest[close + 1..].trim_start();
+        let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            continue;
+        }
+        return Some(reason.to_owned());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::all_rules;
+
+    fn file(path: &str, src: &str) -> SourceFile {
+        SourceFile::from_source(path, src.to_owned())
+    }
+
+    fn finding(path: &str, line: u32, rule: &'static str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_owned(),
+            line,
+            col: 1,
+            message: String::new(),
+            snippet: String::new(),
+        }
+    }
+
+    #[test]
+    fn line_escape_same_line_and_line_above() {
+        let src = "let a = x.unwrap(); // sdbp-allow(no-panic-paths): checked above\n\
+                   // sdbp-allow(no-panic-paths): slice length proven\n\
+                   let b = y[0];\n\
+                   let c = z.unwrap();\n";
+        let f = file("crates/engine/src/lib.rs", src);
+        assert!(line_escape_reason(&f, &finding(&f.rel_path, 1, "no-panic-paths")).is_some());
+        assert!(line_escape_reason(&f, &finding(&f.rel_path, 3, "no-panic-paths")).is_some());
+        assert!(line_escape_reason(&f, &finding(&f.rel_path, 4, "no-panic-paths")).is_none());
+    }
+
+    #[test]
+    fn escape_must_name_the_rule_and_carry_a_reason() {
+        let src = "let a = x.unwrap(); // sdbp-allow(seed-discipline): wrong rule\n\
+                   let b = y.unwrap(); // sdbp-allow(no-panic-paths)\n";
+        let f = file("crates/engine/src/lib.rs", src);
+        assert!(line_escape_reason(&f, &finding(&f.rel_path, 1, "no-panic-paths")).is_none());
+        assert!(
+            line_escape_reason(&f, &finding(&f.rel_path, 2, "no-panic-paths")).is_none(),
+            "reasonless escape must not suppress"
+        );
+    }
+
+    #[test]
+    fn route_prefers_config_then_escape_then_fails() {
+        let cfg = Config::parse(
+            "[[allow]]\nrule = \"no-panic-paths\"\npath = \"crates/engine/src/\"\n\
+             reason = \"poisoning\"\n",
+            &crate::rules::rule_ids(),
+        )
+        .expect("valid config");
+        let f = file("crates/engine/src/pool.rs", "let a = x.unwrap();\n");
+        let mut report = Report::default();
+        route_finding(&f, &cfg, finding(&f.rel_path, 1, "no-panic-paths"), &mut report);
+        assert_eq!(report.allowed.len(), 1);
+        assert_eq!(report.allowed[0].source, "analyze.toml");
+        assert!(report.findings.is_empty());
+
+        let g = file("crates/cache/src/recorder.rs", "let a = x.unwrap();\n");
+        route_finding(&g, &cfg, finding(&g.rel_path, 1, "no-panic-paths"), &mut report);
+        assert_eq!(report.findings.len(), 1, "no allow entry for cache");
+    }
+
+    #[test]
+    fn collect_skips_target_and_fixture_corpus() {
+        let tmp = std::env::temp_dir().join(format!("sdbp-analyze-walk-{}", std::process::id()));
+        let mk = |rel: &str| {
+            let p = tmp.join(rel);
+            std::fs::create_dir_all(p.parent().expect("parent")).expect("mkdir");
+            std::fs::write(&p, "fn x() {}\n").expect("write");
+        };
+        mk("crates/a/src/lib.rs");
+        mk("target/debug/build/generated.rs");
+        mk("crates/analyze/tests/fixtures/bad/panic.rs");
+        let files = collect_rust_files(&tmp).expect("walk");
+        std::fs::remove_dir_all(&tmp).expect("cleanup");
+        assert_eq!(files, vec!["crates/a/src/lib.rs".to_owned()]);
+    }
+
+    #[test]
+    fn analyze_on_real_rules_is_deterministic() {
+        let tmp = std::env::temp_dir().join(format!("sdbp-analyze-det-{}", std::process::id()));
+        let p = tmp.join("crates/traceio/src/reader.rs");
+        std::fs::create_dir_all(p.parent().expect("parent")).expect("mkdir");
+        std::fs::write(&p, "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n").expect("write");
+        let rules = all_rules();
+        let cfg = Config::default();
+        let a = analyze_workspace(&tmp, &rules, &cfg).expect("scan");
+        let b = analyze_workspace(&tmp, &rules, &cfg).expect("scan");
+        std::fs::remove_dir_all(&tmp).expect("cleanup");
+        assert_eq!(a.findings, b.findings);
+        assert_eq!(a.findings.len(), 1);
+        assert_eq!(a.findings[0].rule, "no-panic-paths");
+    }
+}

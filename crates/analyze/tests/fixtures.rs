@@ -1,0 +1,126 @@
+//! Fixture corpus tests: every `bad/` snippet produces the expected
+//! findings for its rule and every `good/` snippet comes back clean,
+//! with each fixture routed through the full pipeline (walk → lex →
+//! rules → allowlist/escape filtering) in a synthetic workspace.
+
+use sdbp_analyze::config::Config;
+use sdbp_analyze::rules::all_rules;
+use sdbp_analyze::workspace::analyze_workspace;
+use std::path::{Path, PathBuf};
+
+/// Builds a one-file workspace under the test-scoped tmpdir: the fixture
+/// is copied to `scan_path`, where the rule under test is in scope.
+fn scan_fixture(case: &str, fixture: &str, scan_path: &str) -> sdbp_analyze::report::Report {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("fixture-{case}"));
+    if root.exists() {
+        std::fs::remove_dir_all(&root).expect("clean slate");
+    }
+    let dest = root.join(scan_path);
+    std::fs::create_dir_all(dest.parent().expect("scan path has a parent")).expect("mkdir");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("manifest");
+    let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(fixture);
+    std::fs::copy(&src, &dest).expect("fixture copied");
+    analyze_workspace(&root, &all_rules(), &Config::default()).expect("scan succeeds")
+}
+
+fn count(report: &sdbp_analyze::report::Report, rule: &str) -> usize {
+    report.findings.iter().filter(|f| f.rule == rule).count()
+}
+
+#[test]
+fn bad_panic_paths_fixture_is_fully_flagged() {
+    let r = scan_fixture("bad-panic", "bad/panic_paths.rs", "crates/traceio/src/fixture.rs");
+    assert_eq!(count(&r, "no-panic-paths"), 5, "{:#?}", r.findings);
+}
+
+#[test]
+fn good_panic_paths_fixture_is_clean_with_escape_recorded() {
+    let r = scan_fixture("good-panic", "good/panic_paths.rs", "crates/traceio/src/fixture.rs");
+    assert_eq!(count(&r, "no-panic-paths"), 0, "{:#?}", r.findings);
+    assert_eq!(r.allowed.len(), 1, "the justified escape is retained for audit");
+    assert_eq!(r.allowed[0].source, "line-escape");
+}
+
+#[test]
+fn bad_det_iter_fixture_flags_every_hash_collection() {
+    let r = scan_fixture("bad-det", "bad/det_iter.rs", "crates/engine/src/fixture.rs");
+    assert_eq!(count(&r, "deterministic-iteration"), 5, "{:#?}", r.findings);
+}
+
+#[test]
+fn good_det_iter_fixture_is_clean() {
+    let r = scan_fixture("good-det", "good/det_iter.rs", "crates/engine/src/fixture.rs");
+    assert!(r.findings.is_empty(), "{:#?}", r.findings);
+}
+
+#[test]
+fn bad_wallclock_fixture_flags_each_source() {
+    let r = scan_fixture("bad-wall", "bad/wallclock.rs", "crates/cache/src/fixture.rs");
+    assert_eq!(count(&r, "no-wallclock-in-sim"), 3, "{:#?}", r.findings);
+}
+
+#[test]
+fn good_wallclock_fixture_is_clean() {
+    let r = scan_fixture("good-wall", "good/wallclock.rs", "crates/cache/src/fixture.rs");
+    assert!(r.findings.is_empty(), "{:#?}", r.findings);
+}
+
+#[test]
+fn bad_casts_fixture_flags_unmasked_narrowing() {
+    let r = scan_fixture("bad-casts", "bad/casts.rs", "crates/traceio/src/format.rs");
+    assert_eq!(count(&r, "lossless-codec-casts"), 3, "{:#?}", r.findings);
+}
+
+#[test]
+fn good_casts_fixture_is_clean() {
+    let r = scan_fixture("good-casts", "good/casts.rs", "crates/traceio/src/format.rs");
+    assert!(r.findings.is_empty(), "{:#?}", r.findings);
+}
+
+#[test]
+fn bad_seed_fixture_flags_each_derivation() {
+    let r = scan_fixture("bad-seed", "bad/seed.rs", "crates/workloads/src/fixture.rs");
+    assert_eq!(count(&r, "seed-discipline"), 3, "{:#?}", r.findings);
+}
+
+#[test]
+fn good_seed_fixture_is_clean() {
+    let r = scan_fixture("good-seed", "good/seed.rs", "crates/workloads/src/fixture.rs");
+    assert!(r.findings.is_empty(), "{:#?}", r.findings);
+}
+
+#[test]
+fn bad_docs_fixture_flags_each_undocumented_item() {
+    let r = scan_fixture("bad-docs", "bad/docs.rs", "crates/cache/src/fixture.rs");
+    assert_eq!(count(&r, "pub-api-docs"), 4, "{:#?}", r.findings);
+}
+
+#[test]
+fn good_docs_fixture_is_clean() {
+    let r = scan_fixture("good-docs", "good/docs.rs", "crates/cache/src/fixture.rs");
+    assert!(r.findings.is_empty(), "{:#?}", r.findings);
+}
+
+#[test]
+fn injected_violation_fails_the_cli_and_writes_the_report() {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("fixture-cli-inject");
+    if root.exists() {
+        std::fs::remove_dir_all(&root).expect("clean slate");
+    }
+    let dir = root.join("crates/traceio/src");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("manifest");
+    std::fs::write(dir.join("lib.rs"), "/// Fine.\npub fn ok() {}\n").expect("clean file");
+    let root_arg = root.to_string_lossy().into_owned();
+    let args = |v: &[&str]| v.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
+    assert_eq!(sdbp_analyze::run_cli(&args(&["--root", &root_arg, "--quiet"])), 0);
+
+    let fixture =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bad/panic_paths.rs");
+    std::fs::copy(&fixture, dir.join("injected.rs")).expect("inject violation");
+    assert_eq!(sdbp_analyze::run_cli(&args(&["--root", &root_arg, "--quiet"])), 1);
+    let json =
+        std::fs::read_to_string(root.join("target/analyze-report.json")).expect("report exists");
+    assert!(json.contains("\"clean\":false"));
+    assert!(json.contains("no-panic-paths"));
+}

@@ -1,0 +1,14 @@
+// Fixture: lossless-codec-casts violations, scanned as
+// crates/traceio/src/format.rs-style codec code.
+
+fn frame_len(payload: &[u8]) -> u32 {
+    payload.len() as u32
+}
+
+fn low_byte(v: u64) -> u8 {
+    v as u8
+}
+
+fn oversized_mask(v: u64) -> u8 {
+    (v & 0xfff) as u8
+}

@@ -1,0 +1,17 @@
+// Fixture: deterministic-iteration violations, scanned as
+// crates/engine/src/<this file>.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn aggregate(pairs: &[(String, u64)]) -> Vec<(String, u64)> {
+    let mut totals: HashMap<String, u64> = HashMap::new();
+    for (k, v) in pairs {
+        *totals.entry(k.clone()).or_insert(0) += v;
+    }
+    totals.into_iter().collect()
+}
+
+fn distinct(keys: &[u64]) -> usize {
+    keys.iter().collect::<HashSet<_>>().len()
+}

@@ -1,0 +1,16 @@
+// Fixture: pub-api-docs violations — public surface without doc
+// comments, scanned as library code.
+
+pub fn undocumented() -> u32 {
+    0
+}
+
+pub struct Bare {
+    pub field: u32,
+}
+
+pub const LIMIT: usize = 16;
+
+pub trait Nameless {
+    fn call(&self);
+}

@@ -1,0 +1,23 @@
+// Fixture: every line here violates no-panic-paths when scanned as
+// crates/traceio/src/<this file>. Expected findings are asserted in
+// tests/fixtures.rs.
+
+fn unwraps(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn expects(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+fn panics() -> u32 {
+    panic!("boom")
+}
+
+fn todos() -> u32 {
+    todo!()
+}
+
+fn indexes(v: &[u32]) -> u32 {
+    v[0]
+}

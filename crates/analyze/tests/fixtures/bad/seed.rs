@@ -1,0 +1,14 @@
+// Fixture: seed-discipline violations — ad-hoc seed derivations that
+// produce correlated streams.
+
+fn derive_additive(seed: u64, core: u64) -> u64 {
+    seed + core
+}
+
+fn derive_xor(seed: u64, id: u64) -> u64 {
+    id ^ seed
+}
+
+fn derive_wrapping(base_seed: u64) -> u64 {
+    base_seed.wrapping_mul(0x9e37_79b9)
+}

@@ -1,0 +1,16 @@
+// Fixture: no-wallclock-in-sim violations, scanned as library code of a
+// simulation crate (e.g. crates/cache/src/<this file>).
+
+use std::time::Instant;
+
+fn timed_decision() -> bool {
+    let t = Instant::now();
+    t.elapsed().as_nanos().is_multiple_of(2)
+}
+
+fn stamped() -> u64 {
+    match std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: lossless codec conversions — visible same-line masks,
+// widening casts, and checked conversions.
+
+fn varint_byte(v: u64) -> u8 {
+    (v & 0x7f) as u8
+}
+
+fn widen(v: u32) -> u64 {
+    u64::from(v)
+}
+
+fn to_index(v: u32) -> usize {
+    v as usize
+}
+
+fn checked_len(payload: &[u8]) -> Option<u32> {
+    u32::try_from(payload.len()).ok()
+}

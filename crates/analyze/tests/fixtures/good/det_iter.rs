@@ -1,0 +1,16 @@
+// Fixture: the ordered counterparts of bad/det_iter.rs.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+fn aggregate(pairs: &[(String, u64)]) -> Vec<(String, u64)> {
+    let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+    for (k, v) in pairs {
+        *totals.entry(k.clone()).or_insert(0) += v;
+    }
+    totals.into_iter().collect()
+}
+
+fn distinct(keys: &[u64]) -> usize {
+    keys.iter().collect::<BTreeSet<_>>().len()
+}

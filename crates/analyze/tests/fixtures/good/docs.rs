@@ -1,0 +1,21 @@
+//! Fixture: fully documented public surface, plus the forms the rule
+//! deliberately skips (re-exports, restricted visibility).
+
+/// Does nothing, but says so.
+pub fn documented() -> u32 {
+    0
+}
+
+/// A documented carrier.
+#[derive(Debug)]
+pub struct Carrier {
+    /// The payload.
+    pub field: u32,
+}
+
+/// How many of them fit.
+pub const LIMIT: usize = 16;
+
+pub(crate) fn internal() -> u32 {
+    1
+}

@@ -1,0 +1,33 @@
+// Fixture: the panic-free counterparts of bad/panic_paths.rs — typed
+// propagation, pattern matching, fixed-size reads, and test-only
+// unwraps, none of which no-panic-paths may flag.
+
+fn propagates(x: Option<u32>) -> Result<u32, String> {
+    x.ok_or_else(|| "absent".to_owned())
+}
+
+fn matches_out(v: &[u32]) -> u32 {
+    match v.first() {
+        Some(&x) => x,
+        None => 0,
+    }
+}
+
+fn fixed_read(bytes: [u8; 4]) -> u32 {
+    u32::from_le_bytes(bytes)
+}
+
+fn allowed(x: Option<u32>) -> u32 {
+    // sdbp-allow(no-panic-paths): fixture demonstrating a justified escape
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Vec<u32> = vec![1, 2, 3];
+        assert_eq!(v[0], 1);
+        assert_eq!(Some(5).unwrap(), 5);
+    }
+}

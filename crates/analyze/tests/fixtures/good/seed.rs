@@ -1,0 +1,22 @@
+// Fixture: disciplined seed handling — construction, forking, and
+// serialization, never arithmetic.
+
+struct Rng64(u64);
+
+impl Rng64 {
+    fn new(seed: u64) -> Self {
+        Rng64(seed)
+    }
+
+    fn fork(&self, stream: u64) -> Self {
+        Rng64(self.0 ^ stream.rotate_left(17))
+    }
+}
+
+fn per_core_stream(seed: u64, core: u64) -> Rng64 {
+    Rng64::new(seed).fork(core)
+}
+
+fn persist(seed: u64) -> [u8; 8] {
+    seed.to_le_bytes()
+}

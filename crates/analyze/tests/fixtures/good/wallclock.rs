@@ -1,0 +1,14 @@
+// Fixture: time-free simulation code — Duration values and logical
+// clocks are fine; only wall-clock *sources* are banned.
+
+use std::time::Duration;
+
+const STEP: Duration = Duration::from_nanos(500);
+
+fn advance(cycle: u64) -> u64 {
+    cycle + 1
+}
+
+fn model_latency(cycles: u64) -> Duration {
+    STEP.saturating_mul(u32::try_from(cycles).unwrap_or(u32::MAX))
+}

@@ -1,0 +1,35 @@
+//! Self-check: the committed tree, scanned with the committed
+//! `analyze.toml`, has zero unsuppressed findings — the same gate CI
+//! applies via `sdbp-repro analyze`.
+
+use sdbp_analyze::config::Config;
+use sdbp_analyze::rules::{all_rules, rule_ids};
+use sdbp_analyze::workspace::{analyze_workspace, find_root};
+use std::path::Path;
+
+#[test]
+fn committed_workspace_is_clean_under_committed_allowlist() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_root(here).expect("workspace root above crates/analyze");
+    let config =
+        Config::load(&root.join("analyze.toml"), &rule_ids()).expect("committed allowlist parses");
+    let report = analyze_workspace(&root, &all_rules(), &config).expect("scan succeeds");
+    assert!(
+        report.findings.is_empty(),
+        "workspace has unsuppressed findings:\n{:#?}",
+        report.findings
+    );
+    assert!(report.files_scanned > 50, "walk found only {} files", report.files_scanned);
+    // Every allowlist entry must still match something: a stale entry is
+    // an audit hole (the exception outlived the code it excused).
+    for entry in &config.allows {
+        assert!(
+            report.allowed.iter().any(|a| a.source == "analyze.toml"
+                && a.finding.rule == entry.rule
+                && a.finding.path.starts_with(&entry.path)),
+            "stale analyze.toml entry: {} at {} no longer matches anything",
+            entry.rule,
+            entry.path
+        );
+    }
+}

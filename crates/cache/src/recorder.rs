@@ -155,6 +155,7 @@ where
     ) {
         Ok(w) => w,
         Err(RecordError::Exhausted { got, .. }) => {
+            // sdbp-allow(no-panic-paths): documented panicking wrapper; fallible callers use try_record_for_core
             panic!("instruction stream for {name} ended at {got}")
         }
         Err(RecordError::Source(e)) => match e {},
@@ -257,18 +258,22 @@ pub fn merge_llc_streams(streams: &[&[LlcAccess]]) -> Vec<LlcAccess> {
     let total: usize = streams.iter().map(|s| s.len()).sum();
     let mut merged = Vec::with_capacity(total);
     loop {
-        let mut best: Option<(usize, u32)> = None;
-        for (c, s) in streams.iter().enumerate() {
-            if let Some(a) = s.get(cursors[c]) {
-                if best.is_none_or(|(_, bi)| a.instr < bi) {
-                    best = Some((c, a.instr));
+        // Ties on `instr` go to the lowest core index: `<` keeps the
+        // first candidate seen, and streams are scanned in core order.
+        let mut best: Option<(usize, LlcAccess)> = None;
+        for (c, (s, cur)) in streams.iter().zip(&cursors).enumerate() {
+            if let Some(&a) = s.get(*cur) {
+                if best.is_none_or(|(_, b): (usize, LlcAccess)| a.instr < b.instr) {
+                    best = Some((c, a));
                 }
             }
         }
         match best {
-            Some((c, _)) => {
-                merged.push(streams[c][cursors[c]]);
-                cursors[c] += 1;
+            Some((c, a)) => {
+                merged.push(a);
+                if let Some(cur) = cursors.get_mut(c) {
+                    *cur += 1;
+                }
             }
             None => break,
         }

@@ -100,15 +100,19 @@ impl Sampler {
 
     fn partial_tag(&self, block: BlockAddr) -> u16 {
         // Tag = block address above the LLC set index bits, truncated to
-        // the configured partial width.
+        // the configured partial width. The width must fit the u16 entry
+        // field for the truncation to be the mask and nothing more.
+        debug_assert!(self.config.tag_bits <= 16, "partial tag wider than its storage");
         ((block.raw() >> self.tag_shift) & ((1 << self.config.tag_bits) - 1)) as u16
     }
 
     fn partial_pc(&self, pc: Pc) -> u16 {
+        debug_assert!(self.config.pc_bits <= 16, "partial PC wider than its storage");
         ((pc.raw() >> 2) & ((1 << self.config.pc_bits) - 1)) as u16
     }
 
     fn promote(&mut self, set: usize, way: usize) {
+        debug_assert!(way < self.config.assoc, "way {way} outside the sampler associativity");
         let base = set * self.config.assoc;
         let old = self.entries[base + way].lru;
         for w in 0..self.config.assoc {

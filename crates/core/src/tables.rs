@@ -41,12 +41,18 @@ impl SkewedTables {
     }
 
     fn index(&self, table: usize, signature: u64) -> usize {
-        if self.tables.len() == 1 {
+        let i = if self.tables.len() == 1 {
             // Unskewed: direct indexing, as in the reftrace-style predictor.
             (signature as usize) & ((1 << self.index_bits) - 1)
         } else {
             skewed_hash(signature, table as u32, self.index_bits)
-        }
+        };
+        debug_assert!(
+            i < (1usize << self.index_bits),
+            "hash produced index {i} for a {}-bit table",
+            self.index_bits
+        );
+        i
     }
 
     /// Summed confidence of `signature` across all tables.

@@ -38,7 +38,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod job;
-mod json;
+pub mod json;
 mod pool;
 pub mod report;
 pub mod telemetry;
@@ -152,6 +152,7 @@ impl Engine {
             accesses: per_job.iter().map(|j| j.accesses).sum(),
             per_job,
         };
+        // sdbp-allow(no-panic-paths): telemetry mutex poisons only if a prior batch panicked mid-push
         self.telemetry.lock().expect("telemetry poisoned").batches.push(stats.clone());
         Batch { results, stats }
     }
@@ -174,6 +175,7 @@ impl Engine {
     /// Snapshot of everything this engine has run.
     #[must_use]
     pub fn telemetry(&self) -> EngineTelemetry {
+        // sdbp-allow(no-panic-paths): telemetry mutex poisons only if a prior batch panicked mid-push
         self.telemetry.lock().expect("telemetry poisoned").clone()
     }
 
@@ -208,6 +210,7 @@ impl<T> Batch<T> {
             .into_iter()
             .map(|r| match r {
                 Ok(v) => v,
+                // sdbp-allow(no-panic-paths): documented panicking accessor; fallible callers use successes()
                 Err(e) => panic!("{e}"),
             })
             .collect()

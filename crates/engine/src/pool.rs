@@ -37,6 +37,9 @@ pub(crate) fn execute<T: Send>(workers: usize, jobs: Vec<Job<'_, T>>) -> Vec<Job
             let queue = &queue;
             scope.spawn(move || {
                 loop {
+                    // The lock only wraps `pop_front`, so poisoning means
+                    // another worker panicked outside a job — already fatal.
+                    // sdbp-allow(no-panic-paths): propagating mutex poisoning after a worker panic is deliberate
                     let next = queue.lock().expect("job queue poisoned").pop_front();
                     let Some((index, job)) = next else { break };
                     // Job panics are caught inside `run`; a send failure
@@ -51,13 +54,21 @@ pub(crate) fn execute<T: Send>(workers: usize, jobs: Vec<Job<'_, T>>) -> Vec<Job
         }
         drop(tx);
         for (index, outcome) in rx {
-            debug_assert!(slots[index].is_none(), "job {index} completed twice");
-            slots[index] = Some(outcome);
+            // Indices come from `enumerate` over the `n` submitted jobs
+            // and `slots` has length `n`; a miss here would surface as a
+            // lost result in the collect below.
+            if let Some(slot) = slots.get_mut(index) {
+                debug_assert!(slot.is_none(), "job {index} completed twice");
+                *slot = Some(outcome);
+            }
         }
     });
 
     slots
         .into_iter()
+        // Every queued job sends exactly one tagged result before the
+        // scope joins, so each slot is filled.
+        // sdbp-allow(no-panic-paths): a lost result is an engine bug, not a recoverable state
         .map(|s| s.expect("worker pool lost a job result"))
         .collect()
 }

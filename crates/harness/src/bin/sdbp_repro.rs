@@ -15,6 +15,8 @@
 //! sdbp-repro trace replay hmmer.sdbt   # bit-exact archived replay
 //! sdbp-repro trace import --in foreign.txt --out foreign.sdbt
 //! sdbp-repro trace info hmmer.sdbt
+//! sdbp-repro analyze                   # workspace invariant linter
+//! sdbp-repro analyze --list-rules
 //! ```
 //!
 //! The per-benchmark instruction budget defaults to 8M; override with
@@ -36,6 +38,11 @@ fn main() {
     // before the experiment flag loop touches anything.
     if args.first().map(String::as_str) == Some("trace") {
         std::process::exit(sdbp_harness::tracecmd::run(&args[1..]));
+    }
+    // Same for the workspace linter: its flags (--root, --json, ...) are
+    // its own.
+    if args.first().map(String::as_str) == Some("analyze") {
+        std::process::exit(sdbp_analyze::run_cli(&args[1..]));
     }
     let mut output: Option<std::fs::File> = None;
     let mut parallelism = Parallelism::Auto;

@@ -17,7 +17,7 @@ use sdbp_replacement::{Dip, Drrip, Random, Tadip};
 use sdbp_trace::TraceSource;
 use sdbp_traceio::FileSource;
 use sdbp_workloads::{instructions, Benchmark, Mix};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
@@ -174,8 +174,9 @@ pub struct SingleResult {
 
 /// A process-wide cache of recorded workloads, so the expensive
 /// record-once pass is shared across experiments and policies.
-/// Map from (benchmark name, core id) to its recording.
-type RecordMap = HashMap<(String, u8), Arc<RecordedWorkload>>;
+/// Map from (benchmark name, core id) to its recording. Ordered so any
+/// future iteration over the store (reports, eviction) is deterministic.
+type RecordMap = BTreeMap<(String, u8), Arc<RecordedWorkload>>;
 
 /// A process-wide cache of recorded workloads, so the expensive
 /// record-once pass is shared across experiments and policies.

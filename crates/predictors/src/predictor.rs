@@ -114,13 +114,15 @@ impl CounterTable {
     /// Saturating increment ("trained dead").
     pub fn increment(&mut self, i: usize) {
         let c = &mut self.counters[i];
-        *c = (*c + 1).min(self.max);
+        *c = c.saturating_add(1).min(self.max);
+        debug_assert!(*c <= self.max, "counter {i} escaped its saturation bound");
     }
 
     /// Saturating decrement ("trained live").
     pub fn decrement(&mut self, i: usize) {
         let c = &mut self.counters[i];
         *c = c.saturating_sub(1);
+        debug_assert!(*c <= self.max, "counter {i} escaped its saturation bound");
     }
 }
 

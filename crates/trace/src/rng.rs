@@ -236,7 +236,7 @@ mod tests {
 
     #[test]
     fn fork_is_deterministic_and_does_not_advance_parent() {
-        let mut parent = Rng64::seed_from_u64(99);
+        let parent = Rng64::seed_from_u64(99);
         let before = parent.clone();
         let mut a = parent.fork(3);
         let mut b = parent.fork(3);

@@ -54,6 +54,18 @@ pub enum TraceIoError {
     },
     /// The end marker's whole-file checksum did not match the chunks read.
     TrailerChecksum,
+    /// The workload name is longer than the header format can carry.
+    NameTooLong {
+        /// Bytes in the offending name.
+        len: usize,
+        /// Longest length the format allows.
+        max: usize,
+    },
+    /// An encoded chunk payload outgrew the frame's `u32` length field.
+    ChunkTooLarge {
+        /// Bytes in the offending chunk payload.
+        bytes: usize,
+    },
     /// A line of an external text trace could not be parsed.
     Import {
         /// One-based line number.
@@ -92,6 +104,12 @@ impl fmt::Display for TraceIoError {
             TraceIoError::TrailerChecksum => {
                 write!(f, "whole-file checksum mismatch at end marker")
             }
+            TraceIoError::NameTooLong { len, max } => {
+                write!(f, "workload name of {len} bytes exceeds the {max}-byte header limit")
+            }
+            TraceIoError::ChunkTooLarge { bytes } => {
+                write!(f, "chunk payload of {bytes} bytes exceeds the u32 frame limit")
+            }
             TraceIoError::Import { line, detail } => {
                 write!(f, "import failed at line {line}: {detail}")
             }
@@ -127,6 +145,8 @@ mod tests {
             (TraceIoError::ChunkChecksum { chunk: 3 }, "chunk 3"),
             (TraceIoError::CountMismatch { header: 10, decoded: 5 }, "10"),
             (TraceIoError::Import { line: 7, detail: "x".into() }, "line 7"),
+            (TraceIoError::NameTooLong { len: 5000, max: 4096 }, "5000"),
+            (TraceIoError::ChunkTooLarge { bytes: 1 << 33 }, "u32 frame limit"),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err}");

@@ -31,6 +31,10 @@ pub const FORMAT_VERSION: u32 = 1;
 /// Default records per chunk (~64 Ki records, a few hundred KiB encoded).
 pub const DEFAULT_CHUNK_RECORDS: u32 = 1 << 16;
 
+/// Longest workload name the header encodes; the reader rejects longer
+/// claims as corruption and the writer refuses to produce them.
+pub const MAX_NAME_LEN: usize = 4096;
+
 /// Byte offset of the `count` field within the header (after magic,
 /// version and seed).
 pub const COUNT_OFFSET: u64 = 8 + 4 + 8;
@@ -223,7 +227,11 @@ impl TraceMeta {
         out.extend_from_slice(&self.version.to_le_bytes());
         out.extend_from_slice(&self.seed.to_le_bytes());
         out.extend_from_slice(&self.count.to_le_bytes());
-        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        // Length is validated at writer construction (<= MAX_NAME_LEN);
+        // saturating here means a bypassed check yields a header the
+        // reader rejects outright instead of a silently truncated length.
+        let name_len = u32::try_from(name.len()).unwrap_or(u32::MAX);
+        out.extend_from_slice(&name_len.to_le_bytes());
         out.extend_from_slice(name);
         let fnv = fnv1a(&out);
         out.extend_from_slice(&fnv.to_le_bytes());

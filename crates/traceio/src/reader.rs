@@ -1,7 +1,9 @@
 //! Streaming, chunk-at-a-time reading of `.sdbt` traces.
 
 use crate::error::TraceIoError;
-use crate::format::{DeltaState, GlobalChecksum, TraceMeta, FORMAT_VERSION, MAGIC, fnv1a};
+use crate::format::{
+    DeltaState, GlobalChecksum, TraceMeta, FORMAT_VERSION, MAGIC, MAX_NAME_LEN, fnv1a,
+};
 use sdbp_trace::Instr;
 use std::fs::File;
 use std::io::{BufReader, Read};
@@ -109,11 +111,9 @@ impl<R: Read> TraceReader<R> {
     /// Loads the next chunk. Returns `false` on the (validated) end
     /// marker.
     fn load_chunk(&mut self) -> Result<bool, TraceIoError> {
-        let mut frame = [0u8; 16];
-        read_exact(&mut self.src, &mut frame, "chunk frame")?;
-        let payload_len = u32::from_le_bytes(frame[0..4].try_into().expect("4 bytes"));
-        let records = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
-        let checksum = u64::from_le_bytes(frame[8..16].try_into().expect("8 bytes"));
+        let payload_len = read_u32(&mut self.src, "chunk frame")?;
+        let records = read_u32(&mut self.src, "chunk frame")?;
+        let checksum = read_u64(&mut self.src, "chunk frame")?;
         if payload_len == 0 {
             // End marker: the checksum slot holds the whole-file checksum.
             if records != 0 {
@@ -220,6 +220,21 @@ fn read_exact<R: Read>(
     })
 }
 
+/// Reads a little-endian `u32` as one fixed-size read (no slicing, so a
+/// short source is a typed [`TraceIoError::Truncated`], never a panic).
+fn read_u32<R: Read>(src: &mut R, context: &'static str) -> Result<u32, TraceIoError> {
+    let mut buf = [0u8; 4];
+    read_exact(src, &mut buf, context)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Reads a little-endian `u64`; see [`read_u32`].
+fn read_u64<R: Read>(src: &mut R, context: &'static str) -> Result<u64, TraceIoError> {
+    let mut buf = [0u8; 8];
+    read_exact(src, &mut buf, context)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
 /// Reads and validates the header, leaving `src` at the first chunk.
 fn read_header<R: Read>(src: &mut R) -> Result<TraceMeta, TraceIoError> {
     let mut magic = [0u8; 8];
@@ -227,9 +242,10 @@ fn read_header<R: Read>(src: &mut R) -> Result<TraceMeta, TraceIoError> {
     if magic != MAGIC {
         return Err(TraceIoError::BadMagic { found: magic });
     }
-    let mut fixed = [0u8; 24];
-    read_exact(src, &mut fixed, "header fields")?;
-    let version = u32::from_le_bytes(fixed[0..4].try_into().expect("4 bytes"));
+    let version = read_u32(src, "header fields")?;
+    let seed = read_u64(src, "header fields")?;
+    let count = read_u64(src, "header fields")?;
+    let name_len = read_u32(src, "header fields")?;
     if version > FORMAT_VERSION {
         return Err(TraceIoError::UnsupportedVersion {
             found: version,
@@ -239,23 +255,25 @@ fn read_header<R: Read>(src: &mut R) -> Result<TraceMeta, TraceIoError> {
     if version == 0 {
         return Err(TraceIoError::HeaderCorrupt { detail: "version 0".into() });
     }
-    let seed = u64::from_le_bytes(fixed[4..12].try_into().expect("8 bytes"));
-    let count = u64::from_le_bytes(fixed[12..20].try_into().expect("8 bytes"));
-    let name_len = u32::from_le_bytes(fixed[20..24].try_into().expect("4 bytes"));
-    if name_len > 4096 {
+    if name_len as usize > MAX_NAME_LEN {
         return Err(TraceIoError::HeaderCorrupt {
             detail: format!("implausible name length {name_len}"),
         });
     }
     let mut name_bytes = vec![0u8; name_len as usize];
     read_exact(src, &mut name_bytes, "header name")?;
-    let mut fnv_bytes = [0u8; 8];
-    read_exact(src, &mut fnv_bytes, "header checksum")?;
+    let fnv = read_u64(src, "header checksum")?;
+    // Rebuild the checksummed header body by re-serializing the fields;
+    // the encoding is canonical little-endian, so the bytes are
+    // identical to what was read.
     let mut body = Vec::with_capacity(32 + name_bytes.len());
     body.extend_from_slice(&magic);
-    body.extend_from_slice(&fixed);
+    body.extend_from_slice(&version.to_le_bytes());
+    body.extend_from_slice(&seed.to_le_bytes());
+    body.extend_from_slice(&count.to_le_bytes());
+    body.extend_from_slice(&name_len.to_le_bytes());
     body.extend_from_slice(&name_bytes);
-    if fnv1a(&body) != u64::from_le_bytes(fnv_bytes) {
+    if fnv1a(&body) != fnv {
         return Err(TraceIoError::HeaderCorrupt { detail: "checksum mismatch".into() });
     }
     let name = String::from_utf8(name_bytes)

@@ -2,7 +2,7 @@
 
 use crate::error::TraceIoError;
 use crate::format::{
-    DeltaState, GlobalChecksum, TraceMeta, DEFAULT_CHUNK_RECORDS, fnv1a,
+    DeltaState, GlobalChecksum, TraceMeta, DEFAULT_CHUNK_RECORDS, MAX_NAME_LEN, fnv1a,
 };
 use sdbp_trace::Instr;
 use std::fs::File;
@@ -85,8 +85,12 @@ impl<W: Write + Seek> TraceWriter<W> {
     ///
     /// # Errors
     ///
-    /// Propagates write errors.
+    /// [`TraceIoError::NameTooLong`] if the workload name exceeds
+    /// [`MAX_NAME_LEN`]; otherwise propagates write errors.
     pub fn new(mut out: W, meta: TraceMeta) -> Result<Self, TraceIoError> {
+        if meta.name.len() > MAX_NAME_LEN {
+            return Err(TraceIoError::NameTooLong { len: meta.name.len(), max: MAX_NAME_LEN });
+        }
         let header = meta.to_bytes();
         out.write_all(&header)?;
         Ok(TraceWriter {
@@ -151,7 +155,9 @@ impl<W: Write + Seek> TraceWriter<W> {
             return Ok(());
         }
         let payload_fnv = fnv1a(&self.chunk);
-        self.out.write_all(&(self.chunk.len() as u32).to_le_bytes())?;
+        let payload_len = u32::try_from(self.chunk.len())
+            .map_err(|_| TraceIoError::ChunkTooLarge { bytes: self.chunk.len() })?;
+        self.out.write_all(&payload_len.to_le_bytes())?;
         self.out.write_all(&self.chunk_records.to_le_bytes())?;
         self.out.write_all(&payload_fnv.to_le_bytes())?;
         self.out.write_all(&self.chunk)?;

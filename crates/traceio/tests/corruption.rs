@@ -152,7 +152,7 @@ fn errors_fuse_the_iterator() {
     let mut reader =
         TraceReader::new(Cursor::new(full[..full.len() / 2].to_vec())).unwrap();
     let mut saw_err = false;
-    while let Some(item) = reader.next() {
+    for item in reader.by_ref() {
         if item.is_err() {
             saw_err = true;
             break;

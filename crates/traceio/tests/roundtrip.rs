@@ -17,6 +17,9 @@ use std::io::Cursor;
 
 const CASES: u64 = 24;
 
+/// Deferred cache constructor, so each policy replays from a fresh cache.
+type CacheBuilder = Box<dyn Fn() -> Cache>;
+
 /// Every kernel archetype the suite composes workloads from.
 fn kernel_archetypes() -> Vec<(&'static str, KernelSpec)> {
     vec![
@@ -92,7 +95,7 @@ fn replayed_traces_record_identical_llc_streams_and_miss_counts() {
         assert_eq!(direct.records, from_file.records, "{name}: timing records differ");
         assert_eq!(direct.llc, from_file.llc, "{name}: LLC streams differ");
 
-        let builders: [(&str, Box<dyn Fn() -> Cache>); 2] = [
+        let builders: [(&str, CacheBuilder); 2] = [
             ("lru", Box::new(move || Cache::new(llc))),
             ("sdbp", Box::new(move || Cache::with_policy(llc, policies::sampler_lru(llc)))),
         ];
