@@ -1,0 +1,104 @@
+//! `flat-metadata`: per-line cache metadata in the hot simulation crates
+//! must be stored contiguously, not as nested vectors.
+//!
+//! The data-plane refactor moved every policy's per-(set, way) state onto
+//! [`MetaPlane`] (`crates/cache/src/meta.rs`) — one flat allocation
+//! indexed `set * width + lane` — and replay outcomes onto the packed
+//! `HitMap` bitset. A `Vec<Vec<...>>` reintroduces a pointer chase per
+//! set plus one heap allocation per row, exactly the layout the refactor
+//! removed from the replay hot path.
+//!
+//! Scope: non-test library code of the four crates whose state is walked
+//! per access — `sdbp-cache`, `sdbp-replacement`, `sdbp-predictors`, and
+//! `sdbp` (core). Cold containers elsewhere (reports, CLI, engine
+//! batching) are free to nest.
+//!
+//! [`MetaPlane`]: ../../../cache/src/meta.rs
+
+use super::{finding_at, in_scope, Finding, Rule};
+use crate::lexer::TokenKind;
+use crate::source::{FileClass, SourceFile};
+
+const SCOPE: &[&str] = &[
+    "crates/cache/src/",
+    "crates/replacement/src/",
+    "crates/predictors/src/",
+    "crates/core/src/",
+];
+
+/// See the [module docs](self).
+#[derive(Debug)]
+pub struct FlatMetadata;
+
+impl Rule for FlatMetadata {
+    fn id(&self) -> &'static str {
+        "flat-metadata"
+    }
+
+    fn summary(&self) -> &'static str {
+        "nested Vec<Vec<..>> metadata in hot simulation crates (use MetaPlane)"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if file.class != FileClass::Library || !in_scope(&file.rel_path, SCOPE) {
+            return;
+        }
+        let toks = &file.lexed.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Ident
+                || file.text(t) != "Vec"
+                || file.in_test(t.start)
+            {
+                continue;
+            }
+            let lt = toks.get(i + 1);
+            let inner = toks.get(i + 2);
+            let is_nested = lt.is_some_and(|l| file.text(l) == "<")
+                && inner.is_some_and(|n| n.kind == TokenKind::Ident && file.text(n) == "Vec");
+            if is_nested {
+                out.push(finding_at(
+                    self.id(),
+                    file,
+                    t.start,
+                    "nested `Vec<Vec<..>>` per-line metadata; use `MetaPlane` \
+                     (crates/cache/src/meta.rs) for one flat set×lane allocation"
+                        .to_owned(),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::from_source(path, src.to_owned());
+        let mut out = Vec::new();
+        FlatMetadata.check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_nested_vectors_in_hot_crates() {
+        let src = "struct P { lru: Vec<Vec<u8>> }";
+        assert_eq!(run("crates/replacement/src/plru.rs", src).len(), 1);
+        assert_eq!(run("crates/core/src/sampler.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn flat_vectors_and_meta_planes_are_fine() {
+        let src = "struct P { dead: MetaPlane<bool>, clock: Vec<u32> }";
+        assert!(run("crates/predictors/src/dbrb.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cold_crates_tests_and_binaries_are_exempt() {
+        let src = "struct R { rows: Vec<Vec<String>> }";
+        assert!(run("crates/engine/src/report.rs", src).is_empty());
+        assert!(run("crates/harness/src/bin/sdbp_repro.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests { struct T { v: Vec<Vec<u8>> } }";
+        assert!(run("crates/cache/src/meta.rs", test_src).is_empty());
+    }
+}

@@ -12,6 +12,7 @@
 mod casts;
 mod det_iter;
 mod docs;
+mod flat_metadata;
 mod panic_paths;
 mod seed;
 mod wallclock;
@@ -21,6 +22,7 @@ use crate::source::SourceFile;
 pub use casts::LosslessCodecCasts;
 pub use det_iter::DeterministicIteration;
 pub use docs::PubApiDocs;
+pub use flat_metadata::FlatMetadata;
 pub use panic_paths::NoPanicPaths;
 pub use seed::SeedDiscipline;
 pub use wallclock::NoWallclockInSim;
@@ -64,6 +66,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(LosslessCodecCasts),
         Box::new(SeedDiscipline),
         Box::new(PubApiDocs),
+        Box::new(FlatMetadata),
     ]
 }
 

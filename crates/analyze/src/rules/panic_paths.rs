@@ -4,8 +4,10 @@
 //! Scope: non-test library code of `sdbp-traceio` (a corrupt archive must
 //! surface as a [`TraceIoError`], the property PR 2's corruption suite
 //! depends on), `sdbp-engine` (a panicking worker must be *isolated*, not
-//! joined by a panicking aggregator), and `cache::recorder` (the fallible
-//! recording path feeding both).
+//! joined by a panicking aggregator), `cache::recorder` (the fallible
+//! recording path feeding both), and `cache::replay` (the measurement
+//! plane: misaligned hit maps are a typed `SplitHitsError`, not an
+//! assert).
 //!
 //! Flags `.unwrap()`, `.expect(...)`, `panic!`, `todo!`, `unimplemented!`,
 //! and `[]`-indexing expressions (which can panic on out-of-bounds; use
@@ -19,6 +21,7 @@ const SCOPE: &[&str] = &[
     "crates/traceio/src/",
     "crates/engine/src/",
     "crates/cache/src/recorder.rs",
+    "crates/cache/src/replay.rs",
 ];
 
 /// See the [module docs](self).
@@ -150,9 +153,15 @@ mod tests {
     #[test]
     fn out_of_scope_and_test_code_are_ignored() {
         let src = "fn f() { a.unwrap(); }";
-        assert!(run("crates/cache/src/replay.rs", src).is_empty());
+        assert!(run("crates/harness/src/runner.rs", src).is_empty());
         let test_src = "#[cfg(test)]\nmod tests { fn t() { a.unwrap(); } }";
         assert!(run("crates/traceio/src/reader.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn replay_is_in_scope() {
+        let src = "fn f() { a.unwrap(); }";
+        assert_eq!(run("crates/cache/src/replay.rs", src).len(), 1);
     }
 
     #[test]

@@ -102,6 +102,26 @@ fn good_docs_fixture_is_clean() {
 }
 
 #[test]
+fn bad_flat_metadata_fixture_flags_each_nested_vec() {
+    let r = scan_fixture(
+        "bad-flat",
+        "bad/flat_metadata.rs",
+        "crates/replacement/src/fixture.rs",
+    );
+    assert_eq!(count(&r, "flat-metadata"), 3, "{:#?}", r.findings);
+}
+
+#[test]
+fn good_flat_metadata_fixture_is_clean() {
+    let r = scan_fixture(
+        "good-flat",
+        "good/flat_metadata.rs",
+        "crates/replacement/src/fixture.rs",
+    );
+    assert_eq!(count(&r, "flat-metadata"), 0, "{:#?}", r.findings);
+}
+
+#[test]
 fn injected_violation_fails_the_cli_and_writes_the_report() {
     let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("fixture-cli-inject");
     if root.exists() {

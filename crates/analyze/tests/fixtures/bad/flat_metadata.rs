@@ -1,0 +1,13 @@
+//! Fixture: per-line metadata as nested vectors in a hot crate — each
+//! nested declaration must be flagged by `flat-metadata`.
+
+pub struct BadPolicy {
+    /// One inner Vec per set: a pointer chase on every access.
+    pub lru_stacks: Vec<Vec<u8>>,
+    /// Same shape through a type alias position.
+    pub signatures: Vec<Vec<u16>>,
+}
+
+pub fn build(sets: usize, ways: usize) -> Vec<Vec<bool>> {
+    vec![vec![false; ways]; sets]
+}

@@ -1,0 +1,21 @@
+//! Fixture: the same metadata stored flat — clean under `flat-metadata`.
+
+pub struct GoodPolicy {
+    /// One contiguous allocation, indexed `set * width + lane`.
+    pub lru_stacks: MetaPlane<u8>,
+    pub signatures: MetaPlane<u16>,
+    /// Per-set (not per-line) state may stay a plain vector.
+    pub set_clock: Vec<u32>,
+}
+
+pub fn build(sets: usize, ways: usize) -> MetaPlane<bool> {
+    MetaPlane::new(sets, ways, false)
+}
+
+#[cfg(test)]
+mod tests {
+    // Nested vectors in test scaffolding are fine.
+    pub struct Expected {
+        pub rows: Vec<Vec<u8>>,
+    }
+}

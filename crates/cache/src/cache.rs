@@ -285,7 +285,7 @@ mod tests {
     fn bypassing_policy_never_fills() {
         struct AlwaysBypass;
         impl ReplacementPolicy for AlwaysBypass {
-            fn name(&self) -> String {
+            fn name(&self) -> std::borrow::Cow<'static, str> {
                 "bypass".into()
             }
             fn on_hit(&mut self, _: usize, _: usize, _: &Access) {}

@@ -95,6 +95,7 @@ impl EfficiencyTracker {
 
     /// A sets × ways matrix of per-frame efficiencies, for greyscale
     /// rendering (Figure 1).
+    // sdbp-allow(flat-metadata): cold reporting accessor building rows for rendering, not per-access state
     pub fn matrix(&self) -> Vec<Vec<f64>> {
         (0..self.config.sets)
             .map(|s| (0..self.config.ways).map(|w| self.frame_efficiency(s, w)).collect())

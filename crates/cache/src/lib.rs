@@ -45,6 +45,7 @@ pub mod efficiency;
 pub mod full;
 pub mod hierarchy;
 pub mod lru;
+pub mod meta;
 pub mod policy;
 pub mod recorder;
 pub mod replay;
@@ -53,7 +54,8 @@ pub mod stats;
 
 pub use cache::{AccessOutcome, Cache};
 pub use config::CacheConfig;
+pub use meta::{HitMap, MetaPlane};
 pub use policy::{Access, ReplacementPolicy, Victim};
 pub use recorder::{record, InstrKind, InstrRecord, LlcAccess, RecordedWorkload};
-pub use replay::{replay, ReplayResult};
+pub use replay::{replay, replay_with_probe, ReplayProbe, ReplayResult, SplitHitsError};
 pub use stats::CacheStats;

@@ -11,9 +11,11 @@
 //! `choose_victim`, then either (`on_evict` if the chosen way was valid,
 //! then `on_fill`) or `on_bypass`.
 
+use crate::meta::MetaPlane;
 use crate::stats::CacheStats;
 use sdbp_trace::{AccessKind, BlockAddr, Pc};
 use std::any::Any;
+use std::borrow::Cow;
 
 /// One access presented to the LLC.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
@@ -68,7 +70,10 @@ pub fn first_invalid(lines: &[LineState]) -> Option<usize> {
 /// (seeded RNGs for randomized policies) so experiments are reproducible.
 pub trait ReplacementPolicy {
     /// Short human-readable name used in result tables (e.g. `"LRU"`).
-    fn name(&self) -> String;
+    ///
+    /// Static for every registered policy; composite policies (DBRB over a
+    /// base) return an owned composition.
+    fn name(&self) -> Cow<'static, str>;
 
     /// The accessed block was found in `(set, way)`.
     fn on_hit(&mut self, set: usize, way: usize, access: &Access);
@@ -133,20 +138,19 @@ pub trait ReplacementPolicy {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Lru {
-    ways: usize,
-    stamps: Vec<u64>,
+    stamps: MetaPlane<u64>,
     clock: u64,
 }
 
 impl Lru {
     /// Creates LRU state for a `sets` × `ways` cache.
     pub fn new(sets: usize, ways: usize) -> Self {
-        Lru { ways, stamps: vec![0; sets * ways], clock: 0 }
+        Lru { stamps: MetaPlane::new(sets, ways, 0), clock: 0 }
     }
 
     fn touch(&mut self, set: usize, way: usize) {
         self.clock += 1;
-        self.stamps[set * self.ways + way] = self.clock;
+        self.stamps[(set, way)] = self.clock;
     }
 
     /// The least recently used valid way of `set` (ignoring invalid ways).
@@ -155,11 +159,12 @@ impl Lru {
     ///
     /// Panics if `lines` contains no valid way.
     pub fn lru_way(&self, set: usize, lines: &[LineState]) -> usize {
+        let stamps = self.stamps.row(set);
         lines
             .iter()
             .enumerate()
             .filter(|(_, l)| l.valid)
-            .min_by_key(|(w, _)| self.stamps[set * self.ways + w])
+            .min_by_key(|&(w, _)| stamps[w])
             .map(|(w, _)| w)
             .expect("lru_way called on a set with no valid lines")
     }
@@ -168,10 +173,10 @@ impl Lru {
     /// policies that need the full LRU stack ordering (e.g. DIP's BIP
     /// insertion, dead-block victim tie-breaking).
     pub fn ranks(&self, set: usize) -> Vec<usize> {
-        let base = set * self.ways;
-        let mut order: Vec<usize> = (0..self.ways).collect();
-        order.sort_by_key(|&w| std::cmp::Reverse(self.stamps[base + w]));
-        let mut ranks = vec![0; self.ways];
+        let stamps = self.stamps.row(set);
+        let mut order: Vec<usize> = (0..stamps.len()).collect();
+        order.sort_by_key(|&w| std::cmp::Reverse(stamps[w]));
+        let mut ranks = vec![0; stamps.len()];
         for (rank, &w) in order.iter().enumerate() {
             ranks[w] = rank;
         }
@@ -186,19 +191,22 @@ impl Lru {
     /// Inserts `(set, way)` at the LRU position (for BIP/LIP-style
     /// insertion): gives it a stamp older than every other line in the set.
     pub fn demote_to_lru(&mut self, set: usize, way: usize) {
-        let base = set * self.ways;
-        let min = (0..self.ways)
-            .filter(|&w| w != way)
-            .map(|w| self.stamps[base + w])
+        let min = self
+            .stamps
+            .row(set)
+            .iter()
+            .enumerate()
+            .filter(|&(w, _)| w != way)
+            .map(|(_, &s)| s)
             .min()
             .unwrap_or(0);
-        self.stamps[base + way] = min.saturating_sub(1);
+        self.stamps[(set, way)] = min.saturating_sub(1);
     }
 }
 
 impl ReplacementPolicy for Lru {
-    fn name(&self) -> String {
-        "LRU".to_owned()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("LRU")
     }
 
     fn on_hit(&mut self, set: usize, way: usize, _access: &Access) {

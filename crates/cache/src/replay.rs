@@ -1,6 +1,10 @@
-//! Replay of recorded LLC streams against a policy-driven cache.
+//! Replay of recorded LLC streams against a policy-driven cache: the
+//! measurement plane. Replay produces a [`ReplayResult`] (counters plus a
+//! packed [`HitMap`]); callers that want per-window detail attach a
+//! [`ReplayProbe`] instead of re-deriving windows from the hit map.
 
 use crate::cache::Cache;
+use crate::meta::HitMap;
 use crate::policy::Access;
 use crate::recorder::LlcAccess;
 use crate::stats::CacheStats;
@@ -12,7 +16,7 @@ pub struct ReplayResult {
     pub stats: CacheStats,
     /// Hit/miss of each access, in stream order; the timing model consumes
     /// this to turn miss reductions into IPC.
-    pub hits: Vec<bool>,
+    pub hits: HitMap,
 }
 
 impl ReplayResult {
@@ -27,11 +31,76 @@ impl ReplayResult {
     }
 }
 
+/// Observer of per-access replay outcomes, driven in stream order.
+///
+/// Probes are the supported way to derive time-resolved measurements
+/// (phase behaviour, per-window miss counts) from a replay without
+/// keeping a second copy of the outcome stream.
+pub trait ReplayProbe {
+    /// Called once per access with its stream index and outcome.
+    fn on_access(&mut self, index: usize, hit: bool);
+}
+
+/// A [`ReplayProbe`] counting misses per fixed-size access window.
+///
+/// ```
+/// use sdbp_cache::replay::{ReplayProbe, WindowMisses};
+///
+/// let mut w = WindowMisses::new(2);
+/// for (i, hit) in [false, true, false, false, true].into_iter().enumerate() {
+///     w.on_access(i, hit);
+/// }
+/// assert_eq!(w.counts(), &[1, 2, 0]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WindowMisses {
+    window: usize,
+    counts: Vec<u64>,
+    seen: usize,
+}
+
+impl WindowMisses {
+    /// A probe with `window` accesses per bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "miss window must be non-empty");
+        WindowMisses { window, counts: Vec::new(), seen: 0 }
+    }
+
+    /// Accesses per bucket.
+    pub const fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Miss counts per window, in stream order (last window may be
+    /// partial).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+impl ReplayProbe for WindowMisses {
+    fn on_access(&mut self, _index: usize, hit: bool) {
+        if self.seen.is_multiple_of(self.window) {
+            self.counts.push(0);
+        }
+        self.seen += 1;
+        if !hit {
+            if let Some(last) = self.counts.last_mut() {
+                *last += 1;
+            }
+        }
+    }
+}
+
 /// Replays `stream` against `cache`, returning statistics and the
 /// per-access hit map. The cache's policy sees every access exactly as the
 /// LLC would during execution.
 pub fn replay(stream: &[LlcAccess], cache: &mut Cache) -> ReplayResult {
-    let mut hits = Vec::with_capacity(stream.len());
+    let mut hits = HitMap::with_capacity(stream.len());
     for a in stream {
         let access = Access::demand(a.pc, a.block, a.kind, a.core);
         hits.push(cache.access(&access).is_hit());
@@ -40,15 +109,68 @@ pub fn replay(stream: &[LlcAccess], cache: &mut Cache) -> ReplayResult {
     ReplayResult { stats: cache.stats(), hits }
 }
 
+/// [`replay`], reporting every outcome to `probe` as it happens.
+pub fn replay_with_probe(
+    stream: &[LlcAccess],
+    cache: &mut Cache,
+    probe: &mut dyn ReplayProbe,
+) -> ReplayResult {
+    let mut hits = HitMap::with_capacity(stream.len());
+    for (i, a) in stream.iter().enumerate() {
+        let access = Access::demand(a.pc, a.block, a.kind, a.core);
+        let hit = cache.access(&access).is_hit();
+        probe.on_access(i, hit);
+        hits.push(hit);
+    }
+    cache.finish();
+    ReplayResult { stats: cache.stats(), hits }
+}
+
+/// A stream and hit map of different lengths were handed to
+/// [`split_hits_by_core`]: the map cannot have come from replaying that
+/// stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SplitHitsError {
+    /// Accesses in the stream.
+    pub stream_len: usize,
+    /// Outcomes in the hit map.
+    pub hits_len: usize,
+}
+
+impl std::fmt::Display for SplitHitsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stream and hit map must align: {} accesses vs {} outcomes",
+            self.stream_len, self.hits_len
+        )
+    }
+}
+
+impl std::error::Error for SplitHitsError {}
+
 /// Splits a shared-LLC hit map back into per-core hit maps, in per-core
 /// stream order (for per-core IPC computation in multi-core runs).
-pub fn split_hits_by_core(stream: &[LlcAccess], hits: &[bool], cores: usize) -> Vec<Vec<bool>> {
-    assert_eq!(stream.len(), hits.len(), "stream and hit map must align");
-    let mut out = vec![Vec::new(); cores];
-    for (a, &h) in stream.iter().zip(hits) {
-        out[a.core as usize].push(h);
+///
+/// # Errors
+///
+/// Returns [`SplitHitsError`] when `hits` was not produced by replaying
+/// `stream` (the lengths disagree).
+pub fn split_hits_by_core(
+    stream: &[LlcAccess],
+    hits: &HitMap,
+    cores: usize,
+) -> Result<Vec<HitMap>, SplitHitsError> {
+    if stream.len() != hits.len() {
+        return Err(SplitHitsError { stream_len: stream.len(), hits_len: hits.len() });
     }
-    out
+    let mut out = vec![HitMap::new(); cores];
+    for (a, h) in stream.iter().zip(hits.iter()) {
+        if let Some(core) = out.get_mut(a.core as usize) {
+            core.push(h);
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -73,7 +195,7 @@ mod tests {
         let mut cache = Cache::new(CacheConfig::new(64, 8));
         let r = replay(&w.llc, &mut cache);
         assert_eq!(r.hits.len(), w.llc.len());
-        let hits = r.hits.iter().filter(|&&h| h).count() as u64;
+        let hits = r.hits.count_ones();
         assert_eq!(hits, r.stats.hits);
         assert_eq!(r.hits.len() as u64 - hits, r.stats.misses);
         assert_eq!(r.misses(), r.stats.misses);
@@ -88,7 +210,7 @@ mod tests {
         let small = replay(&w.llc, &mut Cache::new(CacheConfig::new(64, 4)));
         let large = replay(&w.llc, &mut Cache::new(CacheConfig::new(64, 16)));
         assert!(large.stats.hits >= small.stats.hits);
-        for (s, l) in small.hits.iter().zip(&large.hits) {
+        for (s, l) in small.hits.iter().zip(large.hits.iter()) {
             assert!(!s | l, "inclusion property violated");
         }
     }
@@ -99,6 +221,33 @@ mod tests {
         let a = replay(&w.llc, &mut Cache::new(CacheConfig::new(64, 8)));
         let b = replay(&w.llc, &mut Cache::new(CacheConfig::new(64, 8)));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn probe_sees_exactly_the_hit_map() {
+        struct Collect(Vec<(usize, bool)>);
+        impl ReplayProbe for Collect {
+            fn on_access(&mut self, index: usize, hit: bool) {
+                self.0.push((index, hit));
+            }
+        }
+        let w = workload();
+        let mut probe = Collect(Vec::new());
+        let r = replay_with_probe(&w.llc, &mut Cache::new(CacheConfig::new(64, 8)), &mut probe);
+        let plain = replay(&w.llc, &mut Cache::new(CacheConfig::new(64, 8)));
+        assert_eq!(r, plain, "the probe must not perturb the replay");
+        assert_eq!(probe.0.len(), r.hits.len());
+        assert!(probe.0.iter().enumerate().all(|(i, &(j, h))| i == j && r.hits.get(i) == Some(h)));
+    }
+
+    #[test]
+    fn window_probe_counts_misses_per_window() {
+        let w = workload();
+        let mut windows = WindowMisses::new(1000);
+        let r = replay_with_probe(&w.llc, &mut Cache::new(CacheConfig::new(64, 8)), &mut windows);
+        assert_eq!(windows.counts().iter().sum::<u64>(), r.stats.misses);
+        assert_eq!(windows.counts().len(), w.llc.len().div_ceil(1000));
+        assert_eq!(windows.window(), 1000);
     }
 
     #[test]
@@ -113,15 +262,31 @@ mod tests {
         let w1 = record_for_core("b", t(2), 30_000, 1);
         let merged = merge_streams(&[w0.clone(), w1.clone()]);
         let r = replay(&merged, &mut Cache::new(CacheConfig::new(128, 8)));
-        let per_core = split_hits_by_core(&merged, &r.hits, 2);
+        let per_core = split_hits_by_core(&merged, &r.hits, 2).expect("lengths align");
         assert_eq!(per_core[0].len(), w0.llc.len());
         assert_eq!(per_core[1].len(), w1.llc.len());
+        // Round-trip: re-interleaving the per-core maps in stream order
+        // reproduces the shared map bit for bit.
+        let mut cursors = [0usize; 2];
+        let rebuilt: HitMap = merged
+            .iter()
+            .map(|a| {
+                let core = a.core as usize;
+                let bit = per_core[core].get(cursors[core]).expect("cursor in range");
+                cursors[core] += 1;
+                bit
+            })
+            .collect();
+        assert_eq!(rebuilt, r.hits);
     }
 
     #[test]
-    #[should_panic(expected = "must align")]
     fn split_hits_rejects_mismatched_lengths() {
         let w = workload();
-        let _ = split_hits_by_core(&w.llc, &[], 1);
+        let err = split_hits_by_core(&w.llc, &HitMap::new(), 1)
+            .expect_err("mismatched lengths must be a typed error");
+        assert_eq!(err.stream_len, w.llc.len());
+        assert_eq!(err.hits_len, 0);
+        assert!(err.to_string().contains("must align"));
     }
 }

@@ -39,11 +39,13 @@ pub mod config;
 pub mod policies;
 pub mod predictor;
 pub mod prefetch;
+pub mod registry;
 pub mod sampler;
 pub mod tables;
 pub mod vvc;
 
 pub use config::{SamplerConfig, SdbpConfig, TableConfig};
+pub use registry::{standard, PolicyKind, PolicySpec, Registry, SpecError};
 pub use predictor::SamplingPredictor;
 pub use sampler::Sampler;
 pub use tables::SkewedTables;

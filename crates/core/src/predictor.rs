@@ -12,17 +12,19 @@ use crate::config::SdbpConfig;
 use crate::sampler::Sampler;
 use crate::tables::SkewedTables;
 use sdbp_cache::policy::Access;
-use sdbp_cache::CacheConfig;
+use sdbp_cache::{CacheConfig, MetaPlane};
 use sdbp_predictors::DeadBlockPredictor;
 use sdbp_trace::{BlockAddr, Pc};
+use std::borrow::Cow;
 
 /// The sampling dead block predictor. See the [module docs](self).
 #[derive(Clone, Debug)]
 pub struct SamplingPredictor {
     tables: SkewedTables,
     sampler: Option<Sampler>,
-    /// PC-only mode: per-line last-touch partial PC.
-    last_pc: Vec<u16>,
+    /// PC-only mode: per-line last-touch partial PC (a zero-set plane when
+    /// the sampler carries the training state instead).
+    last_pc: MetaPlane<u16>,
     pc_bits: u32,
 }
 
@@ -41,7 +43,7 @@ impl SamplingPredictor {
             let sets = s.sets.min(llc.sets);
             Sampler::new(crate::config::SamplerConfig { sets, ..s }, llc.sets)
         });
-        let last_pc = if sampler.is_none() { vec![0; llc.lines()] } else { Vec::new() };
+        let last_pc = MetaPlane::new(if sampler.is_none() { llc.sets } else { 0 }, llc.ways, 0);
         SamplingPredictor {
             tables: SkewedTables::new(config.tables),
             sampler,
@@ -80,11 +82,11 @@ impl SamplingPredictor {
 }
 
 impl DeadBlockPredictor for SamplingPredictor {
-    fn name(&self) -> String {
+    fn name(&self) -> Cow<'static, str> {
         match (&self.sampler, self.tables.is_skewed()) {
-            (Some(_), _) => "sampler".to_owned(),
-            (None, true) => "pc-skewed".to_owned(),
-            (None, false) => "pc-only".to_owned(),
+            (Some(_), _) => Cow::Borrowed("sampler"),
+            (None, true) => Cow::Borrowed("pc-skewed"),
+            (None, false) => Cow::Borrowed("pc-only"),
         }
     }
 

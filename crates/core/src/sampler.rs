@@ -17,6 +17,7 @@
 
 use crate::config::SamplerConfig;
 use crate::tables::SkewedTables;
+use sdbp_cache::MetaPlane;
 use sdbp_trace::{BlockAddr, Pc};
 
 #[derive(Copy, Clone, Debug, Default)]
@@ -33,7 +34,9 @@ struct SamplerEntry {
 #[derive(Clone, Debug)]
 pub struct Sampler {
     config: SamplerConfig,
-    entries: Vec<SamplerEntry>,
+    /// One row per sampler set, `assoc` entries wide (the sampler's own
+    /// associativity, not the LLC's).
+    entries: MetaPlane<SamplerEntry>,
     /// LLC sets per sampler set.
     stride: usize,
     /// Bits of LLC set index below the tag.
@@ -56,11 +59,11 @@ impl Sampler {
             "LLC with {llc_sets} sets cannot be sampled by {} sampler sets",
             config.sets
         );
-        let mut entries = vec![SamplerEntry::default(); config.sets * config.assoc];
+        let mut entries = MetaPlane::new(config.sets, config.assoc, SamplerEntry::default());
         // Start with a well-formed LRU ordering.
         for set in 0..config.sets {
-            for way in 0..config.assoc {
-                entries[set * config.assoc + way].lru = way as u8;
+            for (way, e) in entries.row_mut(set).iter_mut().enumerate() {
+                e.lru = way as u8;
             }
         }
         Sampler {
@@ -113,15 +116,14 @@ impl Sampler {
 
     fn promote(&mut self, set: usize, way: usize) {
         debug_assert!(way < self.config.assoc, "way {way} outside the sampler associativity");
-        let base = set * self.config.assoc;
-        let old = self.entries[base + way].lru;
-        for w in 0..self.config.assoc {
-            let e = &mut self.entries[base + w];
+        let row = self.entries.row_mut(set);
+        let old = row[way].lru;
+        for e in row.iter_mut() {
             if e.lru < old {
                 e.lru += 1;
             }
         }
-        self.entries[base + way].lru = 0;
+        row[way].lru = 0;
     }
 
     /// Presents one access to a *sampled* LLC set. Trains `tables` and
@@ -135,22 +137,18 @@ impl Sampler {
         tables: &mut SkewedTables,
     ) -> bool {
         debug_assert!(sampler_set < self.config.sets);
-        let assoc = self.config.assoc;
-        let base = sampler_set * assoc;
         let tag = self.partial_tag(block);
         let partial_pc = self.partial_pc(pc);
+        let row = self.entries.row_mut(sampler_set);
 
         // Lookup by partial tag.
-        if let Some(way) =
-            (0..assoc).find(|&w| self.entries[base + w].valid && self.entries[base + w].tag == tag)
-        {
+        if let Some(way) = row.iter().position(|e| e.valid && e.tag == tag) {
             self.hits += 1;
-            let prev_pc = self.entries[base + way].pc;
+            let prev_pc = row[way].pc;
             // The block proved live: its previous last-toucher did not kill it.
             tables.train_live(u64::from(prev_pc));
-            let e = &mut self.entries[base + way];
-            e.pc = partial_pc;
-            e.dead = tables.predict(u64::from(partial_pc));
+            row[way].pc = partial_pc;
+            row[way].dead = tables.predict(u64::from(partial_pc));
             self.promote(sampler_set, way);
             return true;
         }
@@ -158,32 +156,36 @@ impl Sampler {
         self.misses += 1;
         // Victim: invalid way, else (optionally) a predicted-dead entry
         // closest to LRU, else the LRU entry.
-        let victim = (0..assoc)
-            .find(|&w| !self.entries[base + w].valid)
+        let victim = row
+            .iter()
+            .position(|e| !e.valid)
             .or_else(|| {
                 if self.config.dead_block_victims {
-                    (0..assoc)
-                        .filter(|&w| self.entries[base + w].dead)
-                        .max_by_key(|&w| self.entries[base + w].lru)
+                    row.iter()
+                        .enumerate()
+                        .filter(|(_, e)| e.dead)
+                        .max_by_key(|(_, e)| e.lru)
+                        .map(|(w, _)| w)
                 } else {
                     None
                 }
             })
             .unwrap_or_else(|| {
-                (0..assoc)
-                    .max_by_key(|&w| self.entries[base + w].lru)
+                row.iter()
+                    .enumerate()
+                    .max_by_key(|(_, e)| e.lru)
+                    .map(|(w, _)| w)
                     .expect("sampler set has at least one way")
             });
 
-        if self.entries[base + victim].valid {
+        if row[victim].valid {
             // The victim fell out of the sampler's LRU window: its last
             // toucher is trained dead.
-            let dead_pc = self.entries[base + victim].pc;
+            let dead_pc = row[victim].pc;
             tables.train_dead(u64::from(dead_pc));
         }
         let dead = tables.predict(u64::from(partial_pc));
-        self.entries[base + victim] =
-            SamplerEntry { valid: true, tag, pc: partial_pc, dead, lru: self.entries[base + victim].lru };
+        row[victim] = SamplerEntry { valid: true, tag, pc: partial_pc, dead, lru: row[victim].lru };
         self.promote(sampler_set, victim);
         false
     }

@@ -27,8 +27,9 @@
 //! ```
 //! use sdbp_cache::recorder::{InstrKind, InstrRecord};
 //! use sdbp_cpu::{CoreModel, Timing};
+//! use sdbp_cache::meta::HitMap;
 //! let records = vec![InstrRecord::new(InstrKind::NonMem, false); 1000];
-//! let t = CoreModel::default().simulate(&records, &[]);
+//! let t = CoreModel::default().simulate(&records, &HitMap::new());
 //! assert!((t.ipc() - 4.0).abs() < 0.1); // pure ALU code runs at width
 //! ```
 
@@ -36,6 +37,7 @@
 #![warn(missing_debug_implementations)]
 
 use sdbp_cache::config::Latencies;
+use sdbp_cache::meta::HitMap;
 use sdbp_cache::recorder::{InstrKind, InstrRecord};
 
 /// Core parameters (defaults follow the paper's §VI-A).
@@ -88,7 +90,7 @@ impl CoreModel {
     /// # Panics
     ///
     /// Panics if `width` or `window` is zero.
-    pub fn simulate(&self, records: &[InstrRecord], llc_hits: &[bool]) -> Timing {
+    pub fn simulate(&self, records: &[InstrRecord], llc_hits: &HitMap) -> Timing {
         assert!(self.width >= 1, "width must be at least 1");
         assert!(self.window >= 1, "window must be at least 1");
         assert!(self.mshrs >= 1, "mshrs must be at least 1");
@@ -118,7 +120,7 @@ impl CoreModel {
                 InstrKind::L1Hit => (u64::from(lat.l1), true, false),
                 InstrKind::L2Hit => (u64::from(lat.l2), true, false),
                 InstrKind::Llc => {
-                    let hit = llc_hits.get(llc_cursor).copied().unwrap_or(false);
+                    let hit = llc_hits.get(llc_cursor).unwrap_or(false);
                     llc_cursor += 1;
                     (u64::from(if hit { lat.llc } else { lat.memory }), true, !hit)
                 }
@@ -167,14 +169,14 @@ mod tests {
 
     #[test]
     fn alu_code_runs_at_width() {
-        let t = CoreModel::default().simulate(&non_mem(10_000), &[]);
+        let t = CoreModel::default().simulate(&non_mem(10_000), &HitMap::new());
         assert!((t.ipc() - 4.0).abs() < 0.05, "ipc = {}", t.ipc());
     }
 
     #[test]
     fn l1_hits_are_nearly_free() {
         let records = vec![InstrRecord::new(InstrKind::L1Hit, false); 10_000];
-        let t = CoreModel::default().simulate(&records, &[]);
+        let t = CoreModel::default().simulate(&records, &HitMap::new());
         assert!(t.ipc() > 3.5, "ipc = {}", t.ipc());
     }
 
@@ -184,7 +186,7 @@ mod tests {
         // 16 misses per 200 cycles = 0.08 IPC, an order of magnitude above
         // the fully serialized 1/200, but far below issue width.
         let records = vec![InstrRecord::new(InstrKind::Llc, false); 20_000];
-        let hits = vec![false; 20_000];
+        let hits = HitMap::repeat(false, 20_000);
         let t = CoreModel::default().simulate(&records, &hits);
         assert!(t.ipc() > 0.07, "mlp not exploited: ipc = {}", t.ipc());
         assert!(t.ipc() < 0.1, "mshr limit not applied: ipc = {}", t.ipc());
@@ -193,7 +195,7 @@ mod tests {
     #[test]
     fn dependent_misses_serialize() {
         let records = vec![InstrRecord::new(InstrKind::Llc, true); 5_000];
-        let hits = vec![false; 5_000];
+        let hits = HitMap::repeat(false, 5_000);
         let t = CoreModel::default().simulate(&records, &hits);
         // Each load waits for the previous: ~200 cycles per instruction.
         assert!(t.ipc() < 0.01, "dependent loads must serialize: ipc = {}", t.ipc());
@@ -202,8 +204,8 @@ mod tests {
     #[test]
     fn llc_hits_give_higher_ipc_than_misses() {
         let records = vec![InstrRecord::new(InstrKind::Llc, true); 5_000];
-        let all_hit = vec![true; 5_000];
-        let all_miss = vec![false; 5_000];
+        let all_hit = HitMap::repeat(true, 5_000);
+        let all_miss = HitMap::repeat(false, 5_000);
         let m = CoreModel::default();
         let hit_ipc = m.simulate(&records, &all_hit).ipc();
         let miss_ipc = m.simulate(&records, &all_miss).ipc();
@@ -214,8 +216,8 @@ mod tests {
     fn missing_hit_map_entries_default_to_miss() {
         let records = vec![InstrRecord::new(InstrKind::Llc, false); 100];
         let m = CoreModel::default();
-        let t_empty = m.simulate(&records, &[]);
-        let t_miss = m.simulate(&records, &[false; 100]);
+        let t_empty = m.simulate(&records, &HitMap::new());
+        let t_miss = m.simulate(&records, &HitMap::repeat(false, 100));
         assert_eq!(t_empty, t_miss);
     }
 
@@ -225,7 +227,7 @@ mod tests {
         // miss shadow, so total cycles ≈ miss latency once, not per-op.
         let mut records = vec![InstrRecord::new(InstrKind::Llc, false)];
         records.extend(non_mem(400));
-        let t = CoreModel::default().simulate(&records, &[false]);
+        let t = CoreModel::default().simulate(&records, &HitMap::repeat(false, 1));
         assert!(t.cycles < 320, "ALU ops must hide under the miss: {} cycles", t.cycles);
     }
 
@@ -246,7 +248,7 @@ mod tests {
         // With abundant MSHRs, shrinking the window reduces overlap and
         // IPC under misses.
         let records = vec![InstrRecord::new(InstrKind::Llc, false); 10_000];
-        let hits = vec![false; 10_000];
+        let hits = HitMap::repeat(false, 10_000);
         let wide = CoreModel { window: 128, mshrs: 128, ..CoreModel::default() };
         let narrow = CoreModel { window: 16, mshrs: 128, ..CoreModel::default() };
         let wide_ipc = wide.simulate(&records, &hits).ipc();
@@ -260,7 +262,7 @@ mod tests {
     #[test]
     fn mshrs_limit_mlp() {
         let records = vec![InstrRecord::new(InstrKind::Llc, false); 10_000];
-        let hits = vec![false; 10_000];
+        let hits = HitMap::repeat(false, 10_000);
         let many = CoreModel { mshrs: 16, ..CoreModel::default() };
         let few = CoreModel { mshrs: 2, ..CoreModel::default() };
         let many_ipc = many.simulate(&records, &hits).ipc();

@@ -15,6 +15,8 @@
 //! sdbp-repro trace replay hmmer.sdbt   # bit-exact archived replay
 //! sdbp-repro trace import --in foreign.txt --out foreign.sdbt
 //! sdbp-repro trace info hmmer.sdbt
+//! sdbp-repro trace replay hmmer.sdbt --policy rrip --policy sampler:assoc=16
+//! sdbp-repro list-policies             # print the policy registry
 //! sdbp-repro analyze                   # workspace invariant linter
 //! sdbp-repro analyze --list-rules
 //! ```
@@ -43,6 +45,12 @@ fn main() {
     // its own.
     if args.first().map(String::as_str) == Some("analyze") {
         std::process::exit(sdbp_analyze::run_cli(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("list-policies") {
+        for entry in sdbp::registry::standard().entries() {
+            println!("{:<16} {:<16} {}", entry.name, entry.label, entry.summary);
+        }
+        return;
     }
     let mut output: Option<std::fs::File> = None;
     let mut parallelism = Parallelism::Auto;
@@ -107,7 +115,7 @@ fn main() {
         eprintln!(
             "usage: sdbp-repro [--instructions N] [--output FILE] [--jobs N | --serial] \
              [list | all | <experiment>...]\n       sdbp-repro trace \
-             [record | replay | import | info] ..."
+             [record | replay | import | info] ...\n       sdbp-repro list-policies"
         );
         eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });

@@ -2,9 +2,6 @@
 //! caching, single-core replay + timing, and the multi-core weighted
 //! speedup pipeline.
 
-use sdbp::config::SdbpConfig;
-use sdbp::policies;
-use sdbp_cache::policy::{Lru, ReplacementPolicy};
 use sdbp_cache::recorder::{
     merge_llc_streams, record_for_core, try_record_for_core, LlcAccess, RecordError,
     RecordedWorkload,
@@ -13,7 +10,6 @@ use sdbp_cache::replay::{replay, split_hits_by_core};
 use sdbp_cache::{CacheConfig, CacheStats};
 use sdbp_cpu::CoreModel;
 use sdbp_engine::{Engine, Job};
-use sdbp_replacement::{Dip, Drrip, Random, Tadip};
 use sdbp_trace::TraceSource;
 use sdbp_traceio::FileSource;
 use sdbp_workloads::{instructions, Benchmark, Mix};
@@ -21,139 +17,9 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
-/// Seed for randomized policies, fixed for reproducibility.
-const SEED: u64 = 0xd1ce;
-
-/// Every policy the experiment matrix uses, as a buildable description.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub enum PolicyKind {
-    /// True LRU (the baseline).
-    Lru,
-    /// Random replacement.
-    Random,
-    /// Dynamic insertion policy.
-    Dip,
-    /// Thread-aware DIP (multi-core).
-    Tadip,
-    /// DRRIP (single-core "RRIP") / TA-DRRIP (multi-core).
-    Rrip,
-    /// Reftrace-driven DBRB over LRU (TDBP).
-    Tdbp,
-    /// Counting-predictor DBRB over LRU (CDBP).
-    Cdbp,
-    /// Sampling-predictor DBRB over LRU (the paper's "Sampler").
-    Sampler,
-    /// Sampling-predictor DBRB over random replacement.
-    RandomSampler,
-    /// Counting-predictor DBRB over random replacement.
-    RandomCdbp,
-    /// An SDBP ablation variant over LRU, with a display label.
-    SamplerVariant(&'static str, SdbpConfig),
-    /// Extension: burst-filtered reftrace DBRB over LRU (paper §II-A3).
-    TdbpBursts,
-    /// Extension: Access Interval Predictor DBRB over LRU.
-    Aip,
-    /// Extension: SDBP over a default SRRIP cache (policy independence).
-    SamplerOverSrrip,
-}
-
-impl PolicyKind {
-    /// Display name used in result tables (Table V's abbreviations).
-    pub fn label(&self) -> &'static str {
-        match self {
-            PolicyKind::Lru => "LRU",
-            PolicyKind::Random => "Random",
-            PolicyKind::Dip => "DIP",
-            PolicyKind::Tadip => "TADIP",
-            PolicyKind::Rrip => "RRIP",
-            PolicyKind::Tdbp => "TDBP",
-            PolicyKind::Cdbp => "CDBP",
-            PolicyKind::Sampler => "Sampler",
-            PolicyKind::RandomSampler => "Random Sampler",
-            PolicyKind::RandomCdbp => "Random CDBP",
-            PolicyKind::SamplerVariant(label, _) => label,
-            PolicyKind::TdbpBursts => "TDBP-bursts",
-            PolicyKind::Aip => "AIP",
-            PolicyKind::SamplerOverSrrip => "Sampler/SRRIP",
-        }
-    }
-
-    /// Builds the policy for an LLC of geometry `llc` shared by `cores`.
-    pub fn build(&self, llc: CacheConfig, cores: usize) -> Box<dyn ReplacementPolicy> {
-        match self {
-            PolicyKind::Lru => Box::new(Lru::new(llc.sets, llc.ways)),
-            PolicyKind::Random => Box::new(Random::new(llc, SEED)),
-            PolicyKind::Dip => Box::new(Dip::new(llc, SEED)),
-            PolicyKind::Tadip => Box::new(Tadip::new(llc, cores, SEED)),
-            PolicyKind::Rrip => Box::new(Drrip::new(llc, cores, SEED)),
-            PolicyKind::Tdbp => policies::tdbp(llc),
-            PolicyKind::Cdbp => policies::cdbp(llc),
-            PolicyKind::Sampler => policies::sampler_lru(llc),
-            PolicyKind::RandomSampler => policies::sampler_random(llc),
-            PolicyKind::RandomCdbp => policies::cdbp_random(llc),
-            PolicyKind::SamplerVariant(_, cfg) => policies::sampler_with_config(llc, *cfg),
-            PolicyKind::TdbpBursts => {
-                use sdbp_predictors::dbrb::{DbrbConfig, DeadBlockReplacement};
-                use sdbp_predictors::reftrace::{BurstMode, RefTrace};
-                Box::new(DeadBlockReplacement::new(
-                    llc,
-                    Box::new(Lru::new(llc.sets, llc.ways)),
-                    RefTrace::with_mode(llc, BurstMode::Bursts),
-                    DbrbConfig::default(),
-                ))
-            }
-            PolicyKind::Aip => {
-                use sdbp_predictors::counting::Aip;
-                use sdbp_predictors::dbrb::{DbrbConfig, DeadBlockReplacement};
-                Box::new(DeadBlockReplacement::new(
-                    llc,
-                    Box::new(Lru::new(llc.sets, llc.ways)),
-                    Aip::new(llc),
-                    DbrbConfig::default(),
-                ))
-            }
-            PolicyKind::SamplerOverSrrip => {
-                use sdbp::predictor::SamplingPredictor;
-                use sdbp_predictors::dbrb::{DbrbConfig, DeadBlockReplacement};
-                use sdbp_replacement::Srrip;
-                Box::new(DeadBlockReplacement::new(
-                    llc,
-                    Box::new(Srrip::new(llc)),
-                    SamplingPredictor::paper(llc),
-                    DbrbConfig::default(),
-                ))
-            }
-        }
-    }
-
-    /// The policy set of Figures 4/5 (LRU-default single-core comparison).
-    pub fn lru_comparison() -> Vec<PolicyKind> {
-        vec![
-            PolicyKind::Tdbp,
-            PolicyKind::Cdbp,
-            PolicyKind::Dip,
-            PolicyKind::Rrip,
-            PolicyKind::Sampler,
-        ]
-    }
-
-    /// The policy set of Figures 7/8 (random-default single-core).
-    pub fn random_comparison() -> Vec<PolicyKind> {
-        vec![PolicyKind::Random, PolicyKind::RandomCdbp, PolicyKind::RandomSampler]
-    }
-
-    /// The Figure 6 ablation ladder, in the paper's plot order.
-    pub fn ablation_ladder() -> Vec<PolicyKind> {
-        vec![
-            PolicyKind::SamplerVariant("DBRB alone", SdbpConfig::dbrb_alone()),
-            PolicyKind::SamplerVariant("DBRB+3 tables", SdbpConfig::dbrb_skewed()),
-            PolicyKind::SamplerVariant("DBRB+sampler", SdbpConfig::sampler_only()),
-            PolicyKind::SamplerVariant("DBRB+sampler+3 tables", SdbpConfig::sampler_skewed()),
-            PolicyKind::SamplerVariant("DBRB+sampler+12-way", SdbpConfig::sampler_12way()),
-            PolicyKind::SamplerVariant("DBRB+sampler+3 tables+12-way", SdbpConfig::paper()),
-        ]
-    }
-}
+/// The experiment-matrix policy enumeration, now defined next to the
+/// registry it builds through (`sdbp::registry`).
+pub use sdbp::registry::PolicyKind;
 
 /// Outcome of one (benchmark, policy) single-core run.
 #[derive(Clone, Debug)]
@@ -384,7 +250,8 @@ pub fn run_mix_policy(
     let cores = workloads.len();
     let mut cache = sdbp_cache::Cache::with_policy(llc, policy.build(llc, cores));
     let result = replay(merged, &mut cache);
-    let per_core_hits = split_hits_by_core(merged, &result.hits, cores);
+    let per_core_hits = split_hits_by_core(merged, &result.hits, cores)
+        .expect("replay hit map aligns with its own input stream");
     let model = CoreModel::default();
     let ipcs: Vec<f64> = workloads
         .iter()

@@ -10,13 +10,20 @@
 //! ```
 //!
 //! `replay` prints one `{name} {policy} misses= mpki= ipc=` line per
-//! policy (LRU and the paper's Sampler). Replaying a file recorded from a
-//! workload prints output byte-identical to replaying that workload
-//! directly — the acceptance property CI diffs on.
+//! policy (LRU and the paper's Sampler by default). Replaying a file
+//! recorded from a workload prints output byte-identical to replaying
+//! that workload directly — the acceptance property CI diffs on.
+//!
+//! `--policy SPEC` (repeatable) replays registry policies instead of the
+//! default pair: `sdbp-repro trace replay t.sdbt --policy rrip --policy
+//! sampler:assoc=16`. `sdbp-repro list-policies` prints the registry.
 
 use crate::runner::{record_from_source, run_policy, PolicyKind};
+use sdbp::registry::PolicySpec;
 use sdbp_cache::recorder::{record_for_core, RecordedWorkload};
+use sdbp_cache::replay::replay;
 use sdbp_cache::CacheConfig;
+use sdbp_cpu::CoreModel;
 use sdbp_traceio::{
     import_text, FileSource, TraceMeta, TraceReader, TraceWriter, WriteSummary,
 };
@@ -49,10 +56,14 @@ pub fn run(args: &[String]) -> i32 {
 
 const USAGE: &str = "usage:
   sdbp-repro trace record --workload NAME --out FILE.sdbt [--instructions N] [--core C]
-  sdbp-repro trace replay FILE.sdbt [--core C]
-  sdbp-repro trace replay --workload NAME [--instructions N] [--core C]
+  sdbp-repro trace replay FILE.sdbt [--core C] [--policy SPEC]...
+  sdbp-repro trace replay --workload NAME [--instructions N] [--core C] [--policy SPEC]...
   sdbp-repro trace import --in FILE.txt --out FILE.sdbt [--name NAME]
-  sdbp-repro trace info FILE.sdbt";
+  sdbp-repro trace info FILE.sdbt
+
+--policy takes a registry spec like 'lru', 'rrip', or
+'sampler:assoc=16,tables=1'; see `sdbp-repro list-policies`. Without it,
+replay reports the default LRU + Sampler pair.";
 
 /// Tiny flag parser: `--key value` pairs plus positional arguments.
 struct Flags {
@@ -87,6 +98,11 @@ impl Flags {
 
     fn get(&self, key: &str) -> Option<&str> {
         self.pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// All values of a repeatable flag, in the order given.
+    fn get_all(&self, key: &str) -> Vec<&str> {
+        self.pairs.iter().filter(|(k, _)| k == key).map(|(_, v)| v.as_str()).collect()
     }
 
     fn get_u64(&self, key: &str) -> Result<Option<u64>, String> {
@@ -148,7 +164,7 @@ fn report_write(out: &Path, summary: &WriteSummary, secs: f64) {
 }
 
 fn cmd_replay(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args, &["workload", "instructions", "core"])?;
+    let flags = Flags::parse(args, &["workload", "instructions", "core", "policy"])?;
     let core = core_id(&flags)?;
     let workload = match (flags.get("workload"), flags.positional.as_slice()) {
         (Some(name), []) => {
@@ -163,10 +179,15 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         }
         _ => return Err(format!("replay needs a FILE.sdbt or --workload NAME\n{USAGE}")),
     };
+    let specs = flags.get_all("policy");
+    let summary = if specs.is_empty() {
+        replay_summary(&workload, CacheConfig::llc_2mb())
+    } else {
+        replay_specs(&workload, CacheConfig::llc_2mb(), &specs)?
+    };
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    write!(out, "{}", replay_summary(&workload, CacheConfig::llc_2mb()))
-        .map_err(|e| e.to_string())
+    write!(out, "{summary}").map_err(|e| e.to_string())
 }
 
 /// Streams an archived trace into a recorded workload, using the
@@ -192,6 +213,38 @@ pub fn replay_summary(workload: &RecordedWorkload, llc: CacheConfig) -> String {
         ));
     }
     out
+}
+
+/// Replays one line per `--policy` spec, same line shape as
+/// [`replay_summary`] but with the normalized spec as the policy column,
+/// so parameterized variants stay distinguishable.
+///
+/// # Errors
+///
+/// A malformed or unknown spec, with the registry's diagnostic.
+pub fn replay_specs(
+    workload: &RecordedWorkload,
+    llc: CacheConfig,
+    specs: &[&str],
+) -> Result<String, String> {
+    let registry = sdbp::registry::standard();
+    let mut out = String::new();
+    for raw in specs {
+        let spec: PolicySpec = raw.parse().map_err(|e: sdbp::SpecError| e.to_string())?;
+        let policy = registry.build(&spec, llc, 1).map_err(|e| e.to_string())?;
+        let mut cache = sdbp_cache::Cache::with_policy(llc, policy);
+        let result = replay(&workload.llc, &mut cache);
+        let timing = CoreModel::default().simulate(&workload.records, &result.hits);
+        out.push_str(&format!(
+            "{} {} misses={} mpki={:.6} ipc={:.6}\n",
+            workload.name,
+            spec,
+            result.stats.misses,
+            result.stats.mpki(workload.instructions()),
+            timing.ipc()
+        ));
+    }
+    Ok(out)
 }
 
 fn cmd_import(args: &[String]) -> Result<(), String> {

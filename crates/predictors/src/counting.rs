@@ -14,8 +14,9 @@
 use crate::hash::mix64;
 use crate::predictor::DeadBlockPredictor;
 use sdbp_cache::policy::Access;
-use sdbp_cache::CacheConfig;
+use sdbp_cache::{CacheConfig, MetaPlane};
 use sdbp_trace::{BlockAddr, Pc};
+use std::borrow::Cow;
 
 /// Rows/columns are indexed by 8-bit hashes (256 × 256 = 2^16 entries,
 /// 5 bits each = 40 KB, matching Table I).
@@ -45,9 +46,9 @@ pub struct Lvp {
     table: Vec<LvpEntry>,
     /// Per-line: 8-bit hashed fill PC (kept wider here; hardware stores 8
     /// bits, we store the index directly).
-    fill_pc: Vec<Pc>,
+    fill_pc: MetaPlane<Pc>,
     /// Per-line access count this generation (including the fill).
-    count: Vec<u8>,
+    count: MetaPlane<u8>,
 }
 
 impl Lvp {
@@ -55,8 +56,8 @@ impl Lvp {
     pub fn new(config: CacheConfig) -> Self {
         Lvp {
             table: vec![LvpEntry::default(); 1 << (2 * INDEX_BITS)],
-            fill_pc: vec![Pc::new(0); config.lines()],
-            count: vec![0; config.lines()],
+            fill_pc: MetaPlane::new(config.sets, config.ways, Pc::new(0)),
+            count: MetaPlane::new(config.sets, config.ways, 0),
         }
     }
 
@@ -71,8 +72,8 @@ impl Lvp {
 }
 
 impl DeadBlockPredictor for Lvp {
-    fn name(&self) -> String {
-        "counting".to_owned()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("counting")
     }
 
     fn on_hit(&mut self, _set: usize, line: usize, access: &Access) -> bool {
@@ -113,10 +114,11 @@ struct AipEntry {
 #[derive(Clone, Debug)]
 pub struct Aip {
     table: Vec<AipEntry>,
-    fill_pc: Vec<Pc>,
-    block_of: Vec<BlockAddr>,
-    last_tick: Vec<u32>,
-    max_interval: Vec<u16>,
+    fill_pc: MetaPlane<Pc>,
+    block_of: MetaPlane<BlockAddr>,
+    last_tick: MetaPlane<u32>,
+    max_interval: MetaPlane<u16>,
+    /// Per-set (not per-line) access clock, so it stays a plain vector.
     set_tick: Vec<u32>,
     ways: usize,
 }
@@ -126,10 +128,10 @@ impl Aip {
     pub fn new(config: CacheConfig) -> Self {
         Aip {
             table: vec![AipEntry::default(); 1 << (2 * INDEX_BITS)],
-            fill_pc: vec![Pc::new(0); config.lines()],
-            block_of: vec![BlockAddr::new(0); config.lines()],
-            last_tick: vec![0; config.lines()],
-            max_interval: vec![0; config.lines()],
+            fill_pc: MetaPlane::new(config.sets, config.ways, Pc::new(0)),
+            block_of: MetaPlane::new(config.sets, config.ways, BlockAddr::new(0)),
+            last_tick: MetaPlane::new(config.sets, config.ways, 0),
+            max_interval: MetaPlane::new(config.sets, config.ways, 0),
             set_tick: vec![0; config.sets],
             ways: config.ways,
         }
@@ -141,8 +143,8 @@ impl Aip {
 }
 
 impl DeadBlockPredictor for Aip {
-    fn name(&self) -> String {
-        "aip".to_owned()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("aip")
     }
 
     fn on_hit(&mut self, set: usize, line: usize, access: &Access) -> bool {

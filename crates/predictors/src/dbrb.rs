@@ -15,9 +15,10 @@
 
 use crate::predictor::{DeadBlockPredictor, PredictorStats};
 use sdbp_cache::policy::{Access, LineState, ReplacementPolicy, Victim};
-use sdbp_cache::{CacheConfig, CacheStats};
+use sdbp_cache::{CacheConfig, CacheStats, MetaPlane};
 use sdbp_trace::BlockAddr;
 use std::any::Any;
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -41,8 +42,8 @@ pub struct DeadBlockReplacement<P> {
     predictor: P,
     config: DbrbConfig,
     ways: usize,
-    dead: Vec<bool>,
-    last_touch: Vec<u64>,
+    dead: MetaPlane<bool>,
+    last_touch: MetaPlane<u64>,
     clock: u64,
     /// Dead-on-arrival prediction for the in-flight miss.
     incoming_dead: bool,
@@ -78,8 +79,8 @@ impl<P: DeadBlockPredictor> DeadBlockReplacement<P> {
             predictor,
             config,
             ways: cache.ways,
-            dead: vec![false; cache.lines()],
-            last_touch: vec![0; cache.lines()],
+            dead: MetaPlane::new(cache.sets, cache.ways, false),
+            last_touch: MetaPlane::new(cache.sets, cache.ways, 0),
             clock: 0,
             incoming_dead: false,
             stats: PredictorStats::default(),
@@ -126,8 +127,8 @@ impl<P: DeadBlockPredictor> DeadBlockReplacement<P> {
 }
 
 impl<P: DeadBlockPredictor + 'static> ReplacementPolicy for DeadBlockReplacement<P> {
-    fn name(&self) -> String {
-        format!("{}+{}-dbrb", self.base.name(), self.predictor.name())
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Owned(format!("{}+{}-dbrb", self.base.name(), self.predictor.name()))
     }
 
     fn on_hit(&mut self, set: usize, way: usize, access: &Access) {

@@ -8,6 +8,7 @@
 
 use sdbp_cache::policy::Access;
 use sdbp_trace::BlockAddr;
+use std::borrow::Cow;
 
 /// A dead block predictor.
 ///
@@ -15,7 +16,7 @@ use sdbp_trace::BlockAddr;
 /// means the block is predicted not to be referenced again before eviction.
 pub trait DeadBlockPredictor {
     /// Display name used in tables ("reftrace", "counting", "sampler").
-    fn name(&self) -> String;
+    fn name(&self) -> Cow<'static, str>;
 
     /// An access hit the resident block in `line`. Trains the predictor
     /// (the block just proved it was live) and returns the *new* prediction

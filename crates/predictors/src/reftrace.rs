@@ -15,8 +15,9 @@
 
 use crate::predictor::{CounterTable, DeadBlockPredictor};
 use sdbp_cache::policy::Access;
-use sdbp_cache::CacheConfig;
+use sdbp_cache::{CacheConfig, MetaPlane};
 use sdbp_trace::{BlockAddr, Pc};
+use std::borrow::Cow;
 
 /// Signature width in bits (paper §IV-A).
 pub const SIGNATURE_BITS: u32 = 15;
@@ -43,8 +44,8 @@ pub enum BurstMode {
 #[derive(Clone, Debug)]
 pub struct RefTrace {
     table: CounterTable,
-    signatures: Vec<u16>,
-    last_pc: Vec<u16>,
+    signatures: MetaPlane<u16>,
+    last_pc: MetaPlane<u16>,
     mode: BurstMode,
     threshold: u8,
 }
@@ -79,8 +80,8 @@ impl RefTrace {
         assert!((1..=3).contains(&threshold), "threshold must be in 1..=3");
         RefTrace {
             table: CounterTable::new(1 << SIGNATURE_BITS, 3),
-            signatures: vec![0; config.lines()],
-            last_pc: vec![0; config.lines()],
+            signatures: MetaPlane::new(config.sets, config.ways, 0),
+            last_pc: MetaPlane::new(config.sets, config.ways, 0),
             mode,
             threshold,
         }
@@ -101,10 +102,10 @@ impl RefTrace {
 }
 
 impl DeadBlockPredictor for RefTrace {
-    fn name(&self) -> String {
+    fn name(&self) -> Cow<'static, str> {
         match self.mode {
-            BurstMode::EveryAccess => "reftrace".to_owned(),
-            BurstMode::Bursts => "reftrace-bursts".to_owned(),
+            BurstMode::EveryAccess => Cow::Borrowed("reftrace"),
+            BurstMode::Bursts => Cow::Borrowed("reftrace-bursts"),
         }
     }
 

@@ -11,6 +11,7 @@ use sdbp_trace::rng::Rng64;
 use sdbp_cache::policy::{first_invalid, Access, LineState, Lru, ReplacementPolicy, Victim};
 use sdbp_cache::CacheConfig;
 use std::any::Any;
+use std::borrow::Cow;
 
 /// BIP promotes an insertion to MRU once every `BIP_EPSILON` fills.
 const BIP_EPSILON: f64 = 1.0 / 32.0;
@@ -126,8 +127,8 @@ impl Dip {
 }
 
 impl ReplacementPolicy for Dip {
-    fn name(&self) -> String {
-        "DIP".to_owned()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("DIP")
     }
 
     fn on_hit(&mut self, set: usize, way: usize, _access: &Access) {
@@ -168,8 +169,8 @@ impl Tadip {
 }
 
 impl ReplacementPolicy for Tadip {
-    fn name(&self) -> String {
-        "TADIP".to_owned()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("TADIP")
     }
 
     fn on_hit(&mut self, set: usize, way: usize, _access: &Access) {

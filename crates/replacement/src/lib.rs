@@ -25,10 +25,12 @@ pub mod dip;
 pub mod dueling;
 pub mod plru;
 pub mod random;
+pub mod registry;
 pub mod rrip;
 
 pub use dip::{Dip, Tadip};
 pub use dueling::{DuelingMap, Psel, Role};
 pub use plru::PseudoLru;
 pub use random::Random;
+pub use registry::{PolicyEntry, PolicySpec, Registry, SpecError};
 pub use rrip::{Drrip, Srrip};

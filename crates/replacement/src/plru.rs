@@ -7,9 +7,11 @@
 //! half. It is the replacement policy real high-associativity caches ship
 //! with, and a useful third baseline between true LRU and random.
 
+use sdbp_cache::meta::MetaPlane;
 use sdbp_cache::policy::{first_invalid, Access, LineState, ReplacementPolicy, Victim};
 use sdbp_cache::CacheConfig;
 use std::any::Any;
+use std::borrow::Cow;
 
 /// Tree-based PseudoLRU replacement. Associativity must be a power of two.
 ///
@@ -23,10 +25,9 @@ use std::any::Any;
 #[derive(Clone, Debug)]
 pub struct PseudoLru {
     ways: usize,
-    /// `ways - 1` tree bits per set, stored flat; bit = 1 means "the MRU
-    /// side is the right child", so victims follow 0 = left / 1 = right
-    /// inverted.
-    bits: Vec<bool>,
+    /// `ways - 1` tree bits per set; bit = 1 means "the MRU side is the
+    /// right child", so victims follow 0 = left / 1 = right inverted.
+    bits: MetaPlane<bool>,
 }
 
 impl PseudoLru {
@@ -41,19 +42,18 @@ impl PseudoLru {
             "tree-PLRU needs a power-of-two associativity, got {}",
             config.ways
         );
-        PseudoLru { ways: config.ways, bits: vec![false; config.sets * (config.ways - 1)] }
+        PseudoLru { ways: config.ways, bits: MetaPlane::new(config.sets, config.ways - 1, false) }
     }
 
     /// Walks from the root toward `way`, pointing every node at it.
     fn touch(&mut self, set: usize, way: usize) {
-        let base = set * (self.ways - 1);
         let mut node = 0usize; // tree-local index, root = 0
         let mut lo = 0usize;
         let mut hi = self.ways;
         while hi - lo > 1 {
             let mid = (lo + hi) / 2;
             let right = way >= mid;
-            self.bits[base + node] = right;
+            self.bits[(set, node)] = right;
             node = 2 * node + if right { 2 } else { 1 };
             if right {
                 lo = mid;
@@ -65,14 +65,13 @@ impl PseudoLru {
 
     /// Follows the cold pointers from the root to the pseudo-LRU way.
     fn victim_way(&self, set: usize) -> usize {
-        let base = set * (self.ways - 1);
         let mut node = 0usize;
         let mut lo = 0usize;
         let mut hi = self.ways;
         while hi - lo > 1 {
             let mid = (lo + hi) / 2;
             // Go away from the MRU side.
-            let right = !self.bits[base + node];
+            let right = !self.bits[(set, node)];
             node = 2 * node + if right { 2 } else { 1 };
             if right {
                 lo = mid;
@@ -85,8 +84,8 @@ impl PseudoLru {
 }
 
 impl ReplacementPolicy for PseudoLru {
-    fn name(&self) -> String {
-        "PLRU".to_owned()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("PLRU")
     }
 
     fn on_hit(&mut self, set: usize, way: usize, _access: &Access) {

@@ -3,6 +3,7 @@
 use sdbp_trace::rng::Rng64;
 use sdbp_cache::policy::{first_invalid, Access, LineState, ReplacementPolicy, Victim};
 use std::any::Any;
+use std::borrow::Cow;
 
 /// Uniform-random victim selection (invalid ways still take priority).
 ///
@@ -31,8 +32,8 @@ impl Random {
 }
 
 impl ReplacementPolicy for Random {
-    fn name(&self) -> String {
-        "Random".to_owned()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("Random")
     }
 
     fn on_hit(&mut self, _set: usize, _way: usize, _access: &Access) {}

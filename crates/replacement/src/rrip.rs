@@ -9,9 +9,11 @@
 
 use crate::dueling::{DuelingMap, Psel, Role};
 use sdbp_trace::rng::Rng64;
+use sdbp_cache::meta::MetaPlane;
 use sdbp_cache::policy::{first_invalid, Access, LineState, ReplacementPolicy, Victim};
 use sdbp_cache::CacheConfig;
 use std::any::Any;
+use std::borrow::Cow;
 
 /// Maximum RRPV for 2-bit counters ("distant re-reference").
 const RRPV_MAX: u8 = 3;
@@ -27,21 +29,20 @@ const PSEL_BITS: u32 = 10;
 /// RRPV array plus the victim-selection algorithm shared by all variants.
 #[derive(Clone, Debug)]
 struct RrpvArray {
-    ways: usize,
-    rrpv: Vec<u8>,
+    rrpv: MetaPlane<u8>,
 }
 
 impl RrpvArray {
     fn new(config: CacheConfig) -> Self {
-        RrpvArray { ways: config.ways, rrpv: vec![RRPV_MAX; config.lines()] }
+        RrpvArray { rrpv: MetaPlane::new(config.sets, config.ways, RRPV_MAX) }
     }
 
     fn promote(&mut self, set: usize, way: usize) {
-        self.rrpv[set * self.ways + way] = 0;
+        self.rrpv[(set, way)] = 0;
     }
 
     fn insert(&mut self, set: usize, way: usize, rrpv: u8) {
-        self.rrpv[set * self.ways + way] = rrpv;
+        self.rrpv[(set, way)] = rrpv;
     }
 
     /// SRRIP victim search: first distant line, aging the set until one
@@ -50,15 +51,13 @@ impl RrpvArray {
         if let Some(w) = first_invalid(lines) {
             return w;
         }
-        let base = set * self.ways;
+        let row = self.rrpv.row_mut(set);
         loop {
-            for w in 0..self.ways {
-                if self.rrpv[base + w] == RRPV_MAX {
-                    return w;
-                }
+            if let Some(w) = row.iter().position(|&r| r == RRPV_MAX) {
+                return w;
             }
-            for w in 0..self.ways {
-                self.rrpv[base + w] += 1;
+            for r in row.iter_mut() {
+                *r += 1;
             }
         }
     }
@@ -86,8 +85,8 @@ impl Srrip {
 }
 
 impl ReplacementPolicy for Srrip {
-    fn name(&self) -> String {
-        "SRRIP".to_owned()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("SRRIP")
     }
 
     fn on_hit(&mut self, set: usize, way: usize, _access: &Access) {
@@ -145,11 +144,11 @@ impl Drrip {
 }
 
 impl ReplacementPolicy for Drrip {
-    fn name(&self) -> String {
+    fn name(&self) -> Cow<'static, str> {
         if self.map.cores() > 1 {
-            "TA-DRRIP".to_owned()
+            Cow::Borrowed("TA-DRRIP")
         } else {
-            "RRIP".to_owned()
+            Cow::Borrowed("RRIP")
         }
     }
 

@@ -48,7 +48,8 @@ fn main() {
     let run = |policy: Box<dyn ReplacementPolicy>| -> (Vec<f64>, f64) {
         let mut cache = Cache::with_policy(llc, policy);
         let result = replay(&merged, &mut cache);
-        let per_core = split_hits_by_core(&merged, &result.hits, services.len());
+        let per_core = split_hits_by_core(&merged, &result.hits, services.len())
+            .expect("replay hit map aligns with the merged stream");
         let ipcs: Vec<f64> = services
             .iter()
             .zip(&per_core)

@@ -88,7 +88,8 @@ fn multicore_pipeline_conserves_accesses() {
     let llc = CacheConfig::new(1024, 16);
     let mut cache = Cache::with_policy(llc, PolicyKind::Tadip.build(llc, 4));
     let r = replay(&merged, &mut cache);
-    let per_core = split_hits_by_core(&merged, &r.hits, 4);
+    let per_core = split_hits_by_core(&merged, &r.hits, 4)
+        .expect("replay hit map aligns with the merged stream");
     for (w, hits) in workloads.iter().zip(&per_core) {
         assert_eq!(w.llc.len(), hits.len());
         let t = CoreModel::default().simulate(&w.records, hits);

@@ -3,7 +3,7 @@
 
 use sdbp_suite::cache::policy::Access;
 use sdbp_suite::cache::recorder::LlcAccess;
-use sdbp_suite::cache::{Cache, CacheConfig};
+use sdbp_suite::cache::{Cache, CacheConfig, HitMap};
 use sdbp_suite::harness::runner::PolicyKind;
 use sdbp_suite::optimal;
 use sdbp_suite::trace::rng::Rng64;
@@ -156,7 +156,7 @@ fn lru_inclusion_across_associativities() {
         let mut large = Cache::new(CacheConfig::new(8, 8));
         let rs = sdbp_suite::cache::replay(&stream, &mut small);
         let rl = sdbp_suite::cache::replay(&stream, &mut large);
-        for (s, l) in rs.hits.iter().zip(&rl.hits) {
+        for (s, l) in rs.hits.iter().zip(rl.hits.iter()) {
             assert!(!s | l, "small-cache hit missing from large cache");
         }
     }
@@ -186,12 +186,13 @@ fn timing_is_monotone_in_hits() {
             })
             .collect();
         let llc_count = records.iter().filter(|r| r.kind() == InstrKind::Llc).count();
-        let all_miss = vec![false; llc_count];
-        let mut one_hit = all_miss.clone();
+        let mut hit_bools = vec![false; llc_count];
+        let all_miss: HitMap = hit_bools.iter().copied().collect();
         if llc_count > 0 {
             let idx = flip as usize % llc_count;
-            one_hit[idx] = true;
+            hit_bools[idx] = true;
         }
+        let one_hit: HitMap = hit_bools.into_iter().collect();
         let model = CoreModel::default();
         let miss_cycles = model.simulate(&records, &all_miss).cycles;
         let hit_cycles = model.simulate(&records, &one_hit).cycles;
