@@ -7,7 +7,9 @@
 //! the worst possible failure for a format whose whole contract is
 //! byte-identical record/replay (PR 2, CI's record-replay-diff gate).
 //!
-//! Scope: the encode/decode files of `sdbp-traceio`. Flags `as` casts to
+//! Scope: the encode/decode files of `sdbp-traceio`, plus the serve
+//! crate's frame codec (same silent-corruption stakes, now across a
+//! socket). Flags `as` casts to
 //! narrow integer types (u8/u16/u32 and signed siblings) unless the
 //! value is visibly masked to fit on the same line (`(v & 0x7f) as u8` is
 //! the varint idiom and provably lossless). Casts to 64-bit and to
@@ -24,6 +26,7 @@ const SCOPE: &[&str] = &[
     "crates/traceio/src/format.rs",
     "crates/traceio/src/reader.rs",
     "crates/traceio/src/writer.rs",
+    "crates/serve/src/protocol.rs",
 ];
 
 /// Maximum value representable by each flagged narrow target.
@@ -149,5 +152,13 @@ mod tests {
         let src = "fn f(n: usize) -> u32 { n as u32 }";
         assert!(run("crates/traceio/src/error.rs", src).is_empty());
         assert!(run("crates/cache/src/cache.rs", src).is_empty());
+    }
+
+    #[test]
+    fn serve_frame_codec_is_in_scope() {
+        let src = "fn f(n: usize) -> u32 { n as u32 }";
+        assert_eq!(run("crates/serve/src/protocol.rs", src).len(), 1);
+        // The rest of the serve crate is not codec code.
+        assert!(run("crates/serve/src/server.rs", src).is_empty());
     }
 }

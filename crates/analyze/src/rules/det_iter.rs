@@ -9,7 +9,9 @@
 //! variability failure mode reuse-prediction replications warn about
 //! (PAPERS.md, "Addressing Variability in Reuse Prediction").
 //!
-//! Scope: engine source, and the harness's result-producing modules.
+//! Scope: engine source, the harness's result-producing modules, and
+//! `sdbp-serve` (wire results must be as replay-order-deterministic as
+//! in-process ones).
 //! `HashMap`/`HashSet` are banned there outright (lookup-only uses would
 //! be fine in principle, but an ordered `BTreeMap` costs nothing at
 //! report scale and cannot regress into iteration later).
@@ -23,6 +25,7 @@ const SCOPE: &[&str] = &[
     "crates/harness/src/runner.rs",
     "crates/harness/src/table.rs",
     "crates/harness/src/experiments/",
+    "crates/serve/src/",
 ];
 
 /// See the [module docs](self).
@@ -91,5 +94,11 @@ mod tests {
     fn test_modules_may_use_hashed_containers() {
         let src = "#[cfg(test)]\nmod tests { use std::collections::HashSet; }";
         assert!(run("crates/engine/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn serve_result_paths_are_in_scope() {
+        let src = "fn f() { let m = std::collections::HashMap::new(); }";
+        assert_eq!(run("crates/serve/src/server.rs", src).len(), 1);
     }
 }

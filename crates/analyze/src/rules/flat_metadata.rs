@@ -10,8 +10,9 @@
 //!
 //! Scope: non-test library code of the four crates whose state is walked
 //! per access — `sdbp-cache`, `sdbp-replacement`, `sdbp-predictors`, and
-//! `sdbp` (core). Cold containers elsewhere (reports, CLI, engine
-//! batching) are free to nest.
+//! `sdbp` (core) — plus `sdbp-serve`, whose per-job trace buffers sit on
+//! the same replay hot path. Cold containers elsewhere (reports, CLI,
+//! engine batching) are free to nest.
 //!
 //! [`MetaPlane`]: ../../../cache/src/meta.rs
 
@@ -24,6 +25,7 @@ const SCOPE: &[&str] = &[
     "crates/replacement/src/",
     "crates/predictors/src/",
     "crates/core/src/",
+    "crates/serve/src/",
 ];
 
 /// See the [module docs](self).
@@ -100,5 +102,11 @@ mod tests {
         assert!(run("crates/harness/src/bin/sdbp_repro.rs", src).is_empty());
         let test_src = "#[cfg(test)]\nmod tests { struct T { v: Vec<Vec<u8>> } }";
         assert!(run("crates/cache/src/meta.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn serve_trace_buffers_are_in_scope() {
+        let src = "struct Q { chunks: Vec<Vec<u8>> }";
+        assert_eq!(run("crates/serve/src/session.rs", src).len(), 1);
     }
 }

@@ -5,9 +5,11 @@
 //! surface as a [`TraceIoError`], the property PR 2's corruption suite
 //! depends on), `sdbp-engine` (a panicking worker must be *isolated*, not
 //! joined by a panicking aggregator), `cache::recorder` (the fallible
-//! recording path feeding both), and `cache::replay` (the measurement
+//! recording path feeding both), `cache::replay` (the measurement
 //! plane: misaligned hit maps are a typed `SplitHitsError`, not an
-//! assert).
+//! assert), and `sdbp-serve` (a daemon that panics on a malformed frame
+//! is a remote denial of service; every wire defect must be a typed
+//! `FrameError`).
 //!
 //! Flags `.unwrap()`, `.expect(...)`, `panic!`, `todo!`, `unimplemented!`,
 //! and `[]`-indexing expressions (which can panic on out-of-bounds; use
@@ -22,6 +24,7 @@ const SCOPE: &[&str] = &[
     "crates/engine/src/",
     "crates/cache/src/recorder.rs",
     "crates/cache/src/replay.rs",
+    "crates/serve/src/",
 ];
 
 /// See the [module docs](self).
@@ -168,5 +171,12 @@ mod tests {
     fn vec_macro_and_attributes_are_not_indexing() {
         let src = "#[derive(Debug)]\nstruct S;\nfn f() { let v = vec![1, 2]; }";
         assert!(run("crates/engine/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn serve_wire_code_is_in_scope() {
+        let src = "fn f(buf: &[u8]) -> u8 { buf[0] }";
+        assert_eq!(run("crates/serve/src/protocol.rs", src).len(), 1);
+        assert_eq!(run("crates/serve/src/session.rs", "fn f() { a.unwrap(); }").len(), 1);
     }
 }

@@ -96,6 +96,96 @@ impl ReplayProbe for WindowMisses {
     }
 }
 
+/// A [`ReplayProbe`] that emits each miss window to a callback the moment
+/// it completes, instead of accumulating counts like [`WindowMisses`].
+///
+/// This is the streaming-measurement primitive: a long replay can report
+/// progress (e.g. over a network connection) while it runs, in O(1)
+/// probe memory. The callback receives `(window_index, misses)` with
+/// indices starting at 0 in stream order. Call
+/// [`finish`](WindowStream::finish) after the replay to flush a partial
+/// final window.
+///
+/// ```
+/// use sdbp_cache::replay::{ReplayProbe, WindowStream};
+///
+/// let mut seen = Vec::new();
+/// let mut w = WindowStream::new(2, |index, misses| seen.push((index, misses)));
+/// for (i, hit) in [false, true, false, false, true].into_iter().enumerate() {
+///     w.on_access(i, hit);
+/// }
+/// w.finish();
+/// assert_eq!(seen, vec![(0, 1), (1, 2), (2, 0)]);
+/// ```
+pub struct WindowStream<F: FnMut(u64, u64)> {
+    window: usize,
+    emit: F,
+    in_window: usize,
+    misses: u64,
+    emitted: u64,
+}
+
+impl<F: FnMut(u64, u64)> std::fmt::Debug for WindowStream<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WindowStream")
+            .field("window", &self.window)
+            .field("in_window", &self.in_window)
+            .field("misses", &self.misses)
+            .field("emitted", &self.emitted)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F: FnMut(u64, u64)> WindowStream<F> {
+    /// A streaming probe with `window` accesses per bucket, reporting each
+    /// completed bucket to `emit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize, emit: F) -> Self {
+        assert!(window > 0, "miss window must be non-empty");
+        WindowStream { window, emit, in_window: 0, misses: 0, emitted: 0 }
+    }
+
+    /// Accesses per bucket.
+    pub const fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Windows emitted so far (including a flushed partial window).
+    pub const fn windows(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Flushes a partial final window, if any accesses are buffered.
+    /// Idempotent once the buffer is empty.
+    pub fn finish(&mut self) {
+        if self.in_window > 0 {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        (self.emit)(self.emitted, self.misses);
+        self.emitted += 1;
+        self.misses = 0;
+        self.in_window = 0;
+    }
+}
+
+impl<F: FnMut(u64, u64)> ReplayProbe for WindowStream<F> {
+    fn on_access(&mut self, _index: usize, hit: bool) {
+        if !hit {
+            self.misses += 1;
+        }
+        self.in_window += 1;
+        if self.in_window == self.window {
+            self.flush();
+        }
+    }
+}
+
 /// Replays `stream` against `cache`, returning statistics and the
 /// per-access hit map. The cache's policy sees every access exactly as the
 /// LLC would during execution.
@@ -248,6 +338,43 @@ mod tests {
         assert_eq!(windows.counts().iter().sum::<u64>(), r.stats.misses);
         assert_eq!(windows.counts().len(), w.llc.len().div_ceil(1000));
         assert_eq!(windows.window(), 1000);
+    }
+
+    #[test]
+    fn window_stream_matches_window_misses_including_partial_tail() {
+        let w = workload();
+        let window = 777; // deliberately not a divisor of the stream length
+        let mut accumulated = WindowMisses::new(window);
+        let a = replay_with_probe(
+            &w.llc,
+            &mut Cache::new(CacheConfig::new(64, 8)),
+            &mut accumulated,
+        );
+        let mut streamed: Vec<(u64, u64)> = Vec::new();
+        let mut probe = WindowStream::new(window, |index, misses| streamed.push((index, misses)));
+        let b = replay_with_probe(&w.llc, &mut Cache::new(CacheConfig::new(64, 8)), &mut probe);
+        probe.finish();
+        assert_eq!(a, b, "probes must not perturb the replay");
+        let emitted = probe.windows();
+        assert_eq!(probe.window(), window);
+        assert_eq!(emitted, streamed.len() as u64);
+        let counts: Vec<u64> = streamed.iter().map(|&(_, m)| m).collect();
+        assert_eq!(counts, accumulated.counts(), "streamed windows must equal accumulated ones");
+        assert!(streamed.iter().enumerate().all(|(i, &(j, _))| i as u64 == j));
+        assert_eq!(counts.iter().sum::<u64>(), b.stats.misses);
+    }
+
+    #[test]
+    fn window_stream_finish_is_idempotent() {
+        let mut emitted = 0u64;
+        let mut w = WindowStream::new(4, |_, _| emitted += 1);
+        for i in 0..6 {
+            w.on_access(i, false);
+        }
+        w.finish();
+        w.finish();
+        assert_eq!(w.windows(), 2);
+        assert_eq!(emitted, 2);
     }
 
     #[test]

@@ -157,6 +157,28 @@ impl Engine {
         Batch { results, stats }
     }
 
+    /// Runs a single job with the same panic isolation and telemetry as
+    /// a batch (a one-job batch executes inline on the calling thread).
+    ///
+    /// This is the entry point for callers that multiplex independent
+    /// jobs themselves — e.g. a server executing one queued request per
+    /// executor thread — but still want every run timed, counted, and
+    /// panic-contained in the engine report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`JobFailure`] if the job panicked.
+    pub fn run_one<T: Send>(&self, label: &str, job: Job<'_, T>) -> Result<T, JobFailure> {
+        let mut batch = self.run_batch(label, vec![job]);
+        match batch.results.pop() {
+            Some(result) => result,
+            None => Err(JobFailure {
+                job: label.to_owned(),
+                message: "engine returned no result for a one-job batch".to_owned(),
+            }),
+        }
+    }
+
     /// Convenience wrapper: runs plain closures (no names, no access
     /// counts) and unwraps the results, panicking if any job panicked.
     pub fn run_all<T: Send>(
@@ -186,6 +208,36 @@ impl Engine {
     /// Propagates filesystem errors.
     pub fn write_report(&self, path: &std::path::Path) -> std::io::Result<()> {
         report::write_json(path, self.workers, &self.telemetry())
+    }
+}
+
+#[cfg(test)]
+mod run_one_tests {
+    use super::*;
+
+    #[test]
+    fn run_one_returns_the_value_and_records_telemetry() {
+        let engine = Engine::serial();
+        let v = engine.run_one("one", Job::new("answer", || 42u64).accesses(7));
+        assert_eq!(v, Ok(42));
+        let t = engine.telemetry();
+        assert_eq!(t.jobs(), 1);
+        assert_eq!(t.accesses(), 7);
+        assert_eq!(t.batches.len(), 1);
+        assert_eq!(t.batches[0].label, "one");
+    }
+
+    #[test]
+    fn run_one_isolates_a_panicking_job() {
+        let engine = Engine::serial();
+        let r: Result<(), JobFailure> =
+            engine.run_one("boom", Job::new("boom", || panic!("sank")));
+        let failure = r.expect_err("panic must surface as a JobFailure");
+        assert_eq!(failure.job, "boom");
+        assert!(failure.message.contains("sank"));
+        // The engine stays usable after an isolated panic.
+        assert_eq!(engine.run_one("after", Job::new("after", || 1u8)), Ok(1));
+        assert_eq!(engine.telemetry().failed(), 1);
     }
 }
 

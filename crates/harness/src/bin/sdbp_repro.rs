@@ -19,6 +19,8 @@
 //! sdbp-repro list-policies             # print the policy registry
 //! sdbp-repro analyze                   # workspace invariant linter
 //! sdbp-repro analyze --list-rules
+//! sdbp-repro serve --addr 127.0.0.1:0  # policy-evaluation daemon
+//! sdbp-repro submit --addr HOST:PORT --policy sampler hmmer.sdbt
 //! ```
 //!
 //! The per-benchmark instruction budget defaults to 8M; override with
@@ -27,7 +29,8 @@
 //! hardware thread by default; `--jobs N` / `--serial` override). Results
 //! are aggregated in submission order, so the output is byte-identical
 //! for any worker count; engine telemetry is written to
-//! `target/engine-report.json` after the run.
+//! `target/engine-report.json` (override with the `SDBP_ENGINE_REPORT`
+//! environment variable) after the run.
 
 use sdbp_engine::{Engine, Parallelism};
 use sdbp_harness::experiments::{self, Context, ALL_EXPERIMENTS};
@@ -45,6 +48,13 @@ fn main() {
     // its own.
     if args.first().map(String::as_str) == Some("analyze") {
         std::process::exit(sdbp_analyze::run_cli(&args[1..]));
+    }
+    // And for the policy-evaluation daemon and its client.
+    if args.first().map(String::as_str) == Some("serve") {
+        std::process::exit(sdbp_harness::servecmd::run_serve(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("submit") {
+        std::process::exit(sdbp_harness::servecmd::run_submit(&args[1..]));
     }
     if args.first().map(String::as_str) == Some("list-policies") {
         for entry in sdbp::registry::standard().entries() {
@@ -115,7 +125,8 @@ fn main() {
         eprintln!(
             "usage: sdbp-repro [--instructions N] [--output FILE] [--jobs N | --serial] \
              [list | all | <experiment>...]\n       sdbp-repro trace \
-             [record | replay | import | info] ...\n       sdbp-repro list-policies"
+             [record | replay | import | info] ...\n       sdbp-repro \
+             [serve | submit] ...\n       sdbp-repro list-policies"
         );
         eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
@@ -162,8 +173,8 @@ fn main() {
 
     let telemetry = ctx.engine.telemetry();
     if telemetry.jobs() > 0 {
-        let report_path = std::path::Path::new(sdbp_engine::report::DEFAULT_REPORT_PATH);
-        match ctx.engine.write_report(report_path) {
+        let report_path = sdbp_engine::report::default_report_path();
+        match ctx.engine.write_report(&report_path) {
             Ok(()) => eprintln!(
                 "[engine: {} jobs, {:.1}s busy / {:.1}s wall ({:.2}x), report: {}]",
                 telemetry.jobs(),

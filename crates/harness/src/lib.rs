@@ -13,6 +13,7 @@
 
 pub mod experiments;
 pub mod runner;
+pub mod servecmd;
 pub mod table;
 pub mod tracecmd;
 

@@ -25,7 +25,7 @@ use sdbp_cache::replay::replay;
 use sdbp_cache::CacheConfig;
 use sdbp_cpu::CoreModel;
 use sdbp_traceio::{
-    import_text, FileSource, TraceMeta, TraceReader, TraceWriter, WriteSummary,
+    import_text, ChunkStat, FileSource, TraceMeta, TraceReader, TraceWriter, WriteSummary,
 };
 use sdbp_workloads::{benchmark, instructions};
 use std::io::Write as _;
@@ -305,6 +305,24 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     println!("memory refs:  {mem} ({writes} writes)");
     println!("chunks:       {}", reader.chunks_read());
     println!("bytes:        {bytes} ({:.2}/access)", bytes as f64 / records.max(1) as f64);
+    let stats = reader.chunk_stats();
+    let encoded: u64 = stats.iter().map(|s| u64::from(s.payload_bytes)).sum();
+    let nominal: u64 =
+        stats.iter().map(|s| u64::from(s.records) * ChunkStat::NOMINAL_RECORD_BYTES).sum();
+    println!(
+        "encoded:      {encoded} payload bytes, {:.3}x vs {}-byte fixed-width records",
+        encoded as f64 / nominal.max(1) as f64,
+        ChunkStat::NOMINAL_RECORD_BYTES
+    );
+    for (index, stat) in stats.iter().enumerate() {
+        println!(
+            "  chunk {index:>4}: {:>8} records {:>9} bytes ({:.2}/record, ratio {:.3})",
+            stat.records,
+            stat.payload_bytes,
+            stat.bytes_per_record(),
+            stat.compression_ratio()
+        );
+    }
     println!("integrity:    ok (all checksums validated)");
     Ok(())
 }

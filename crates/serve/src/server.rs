@@ -1,0 +1,435 @@
+//! The daemon: accept loop, bounded job queue, executor pool, and
+//! graceful shutdown.
+//!
+//! Threading model:
+//!
+//! * one **accept** thread turning connections into session threads;
+//! * one **session** thread per connection (the state machine lives in
+//!   the `session` module) — it parses requests and parks on a
+//!   [`JobGate`] while its job runs;
+//! * `workers` **executor** threads popping the shared bounded queue and
+//!   running jobs through the resident [`sdbp_engine::Engine`] (panic
+//!   isolation + telemetry), streaming results straight to the
+//!   submitting connection.
+//!
+//! Backpressure is the queue bound: when `queue_depth` jobs are already
+//! waiting, a submission gets an immediate `Busy` frame instead of a
+//! spot in an unbounded backlog. Shutdown is cooperative — a flag, a
+//! condvar broadcast, a self-connect to wake the blocking accept call,
+//! and socket shutdowns to unblock session reads. No library code calls
+//! `process::exit`.
+
+use crate::error::ServeError;
+use crate::lock_clean;
+use crate::protocol::{ErrorCode, Frame};
+use sdbp_cache::recorder::try_record_for_core;
+use sdbp_cache::replay::{replay, replay_with_probe, ReplayResult, WindowStream};
+use sdbp_cache::{Cache, CacheConfig};
+use sdbp_cpu::CoreModel;
+use sdbp_engine::{Engine, Job};
+use sdbp_traceio::TraceReader;
+use std::collections::VecDeque;
+use std::io::Cursor;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+/// Everything a [`Server`] needs to start.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; `127.0.0.1:0` picks an ephemeral port (read it back
+    /// via [`Server::local_addr`]).
+    pub addr: String,
+    /// Executor threads draining the job queue. `0` is allowed and means
+    /// jobs are accepted and queued but never executed — the saturation
+    /// tests use this to make backpressure deterministic.
+    pub workers: usize,
+    /// Bounded job-queue capacity; submissions beyond it get `Busy`.
+    /// Clamped to at least 1.
+    pub queue_depth: usize,
+    /// Directory resolving `TraceRef::Archive` names; `None` rejects all
+    /// archive submissions.
+    pub trace_dir: Option<PathBuf>,
+    /// Largest inline trace a client may stream, in bytes.
+    pub max_inline_bytes: u64,
+    /// Server display name sent in `HelloAck`.
+    pub server_name: String,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            queue_depth: 16,
+            trace_dir: None,
+            max_inline_bytes: 256 << 20,
+            server_name: "sdbp-serve".to_owned(),
+        }
+    }
+}
+
+/// Signals a parked session thread that its job reached a final frame
+/// (`JobDone` or `ErrorReply`), so the session may resume reading.
+#[derive(Debug, Default)]
+pub(crate) struct JobGate {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl JobGate {
+    /// Blocks until [`signal`](JobGate::signal).
+    pub(crate) fn wait(&self) {
+        let mut done = lock_clean(&self.done);
+        while !*done {
+            done = self.cv.wait(done).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Releases every waiter.
+    pub(crate) fn signal(&self) {
+        *lock_clean(&self.done) = true;
+        self.cv.notify_all();
+    }
+}
+
+/// One fully-received job waiting for an executor.
+#[derive(Debug)]
+pub(crate) struct QueuedJob {
+    /// Server-assigned job id (already sent to the client).
+    pub(crate) job: u64,
+    /// Engine telemetry label, `serve/s{session}-j{job}/{policy}`.
+    pub(crate) label: String,
+    /// Raw policy spec string from the submission.
+    pub(crate) policy: String,
+    /// Validated LLC geometry.
+    pub(crate) llc: CacheConfig,
+    /// Accesses per streamed window; 0 disables window streaming.
+    pub(crate) window: u32,
+    /// The `.sdbt` file image to replay.
+    pub(crate) trace: Vec<u8>,
+    /// Instruction count from the (already validated) trace header, for
+    /// engine throughput telemetry.
+    pub(crate) instructions: u64,
+    /// Telemetry source label (`wire:inline` or `file:{path}`).
+    pub(crate) source: String,
+    /// Write half of the submitting connection.
+    pub(crate) stream: TcpStream,
+    /// Gate the submitting session is parked on.
+    pub(crate) gate: Arc<JobGate>,
+}
+
+/// State shared by the accept loop, sessions, and executors.
+#[derive(Debug)]
+pub(crate) struct Shared {
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) queue: Mutex<VecDeque<QueuedJob>>,
+    pub(crate) queue_cv: Condvar,
+    pub(crate) queue_depth: usize,
+    pub(crate) next_job: AtomicU64,
+    pub(crate) trace_dir: Option<PathBuf>,
+    pub(crate) max_inline_bytes: u64,
+    pub(crate) server_name: String,
+    pub(crate) engine: Engine,
+}
+
+/// A live connection: the stream (to unblock reads at shutdown) and the
+/// session thread handle.
+#[derive(Debug)]
+struct SessionSlot {
+    stream: TcpStream,
+    handle: JoinHandle<()>,
+}
+
+/// A running policy-evaluation daemon.
+///
+/// Dropping the server shuts it down gracefully; call
+/// [`shutdown`](Server::shutdown) explicitly to control when (it is
+/// idempotent).
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept: Mutex<Option<JoinHandle<()>>>,
+    executors: Mutex<Vec<JoinHandle<()>>>,
+    sessions: Arc<Mutex<Vec<SessionSlot>>>,
+}
+
+impl Server {
+    /// Binds, spawns the executor pool and accept loop, and returns the
+    /// running server.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Local`] when the address cannot be bound or a
+    /// thread cannot be spawned.
+    pub fn start(config: ServerConfig) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| ServeError::Local(format!("bind {}: {e}", config.addr)))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Local(format!("local_addr: {e}")))?;
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            queue_depth: config.queue_depth.max(1),
+            next_job: AtomicU64::new(1),
+            trace_dir: config.trace_dir,
+            max_inline_bytes: config.max_inline_bytes,
+            server_name: config.server_name,
+            // Each executor runs one job at a time; the engine's own pool
+            // stays serial so telemetry timing reflects the job itself.
+            engine: Engine::with_workers(1),
+        });
+
+        let mut executors = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("sdbp-serve-exec-{i}"))
+                .spawn(move || executor_loop(&shared))
+                .map_err(|e| ServeError::Local(format!("spawn executor: {e}")))?;
+            executors.push(handle);
+        }
+
+        let sessions: Arc<Mutex<Vec<SessionSlot>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let sessions = Arc::clone(&sessions);
+            std::thread::Builder::new()
+                .name("sdbp-serve-accept".to_owned())
+                .spawn(move || accept_loop(&shared, &listener, &sessions))
+                .map_err(|e| ServeError::Local(format!("spawn accept loop: {e}")))?
+        };
+
+        Ok(Server {
+            shared,
+            local_addr,
+            accept: Mutex::new(Some(accept)),
+            executors: Mutex::new(executors),
+            sessions,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual ephemeral port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The resident engine, for telemetry reports.
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        &self.shared.engine
+    }
+
+    /// Stops the server: finishes queued jobs (when executors exist),
+    /// aborts the rest with `Shutdown` error frames, unblocks every
+    /// session, and joins all threads. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Executors drain whatever is already queued, then exit.
+        self.shared.queue_cv.notify_all();
+        let executors: Vec<JoinHandle<()>> = lock_clean(&self.executors).drain(..).collect();
+        for h in executors {
+            let _ = h.join();
+        }
+        // With no executors (workers = 0), queued jobs are aborted here.
+        // Sessions can no longer enqueue: the submit path re-checks the
+        // shutdown flag under the queue lock.
+        let leftovers: Vec<QueuedJob> = lock_clean(&self.shared.queue).drain(..).collect();
+        for q in leftovers {
+            let mut stream = q.stream;
+            let _ = Frame::ErrorReply {
+                code: ErrorCode::Shutdown,
+                detail: "server is shutting down".to_owned(),
+            }
+            .write_to(&mut stream);
+            q.gate.signal();
+        }
+        // Wake the blocking accept() and join the accept thread.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = lock_clean(&self.accept).take() {
+            let _ = h.join();
+        }
+        // Unblock session reads and join the session threads.
+        let slots: Vec<SessionSlot> = lock_clean(&self.sessions).drain(..).collect();
+        for s in &slots {
+            let _ = s.stream.shutdown(std::net::Shutdown::Both);
+        }
+        for s in slots {
+            let _ = s.handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Turns accepted connections into session threads until shutdown.
+fn accept_loop(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    sessions: &Arc<Mutex<Vec<SessionSlot>>>,
+) {
+    let mut next_session: u64 = 1;
+    for incoming in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = incoming else { continue };
+        let Ok(peer) = stream.try_clone() else { continue };
+        let session = next_session;
+        next_session += 1;
+        let shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name(format!("sdbp-serve-session-{session}"))
+            .spawn(move || crate::session::run_session(&shared, stream, session));
+        let mut slots = lock_clean(sessions);
+        // Closed connections leave finished threads behind; reap them so
+        // a long-lived daemon's slot list stays proportional to live
+        // sessions.
+        slots.retain(|s| !s.handle.is_finished());
+        if let Ok(handle) = spawned {
+            slots.push(SessionSlot { stream: peer, handle });
+        }
+    }
+}
+
+/// Pops and executes queued jobs; exits once the queue is empty after
+/// shutdown.
+fn executor_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = lock_clean(&shared.queue);
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break Some(j);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                q = shared.queue_cv.wait(q).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        match job {
+            Some(j) => execute_job(shared, j),
+            None => return,
+        }
+    }
+}
+
+/// What a successful replay hands back to the final `JobDone` frame.
+struct DoneStats {
+    workload: String,
+    instructions: u64,
+    accesses: u64,
+    hits: u64,
+    misses: u64,
+    windows: u64,
+    ipc_bits: u64,
+}
+
+/// Runs one job through the engine (panic isolation + telemetry) and
+/// writes the final frame to the submitting connection.
+fn execute_job(shared: &Shared, queued: QueuedJob) {
+    let QueuedJob {
+        job,
+        label,
+        policy,
+        llc,
+        window,
+        trace,
+        instructions,
+        source,
+        mut stream,
+        gate,
+    } = queued;
+    let outcome = {
+        let results_stream = &mut stream;
+        shared.engine.run_one(
+            &label,
+            Job::new(label.clone(), move || {
+                run_replay(job, &policy, llc, window, &trace, results_stream)
+            })
+            .accesses(instructions)
+            .source(source),
+        )
+    };
+    let final_frame = match outcome {
+        Ok(Ok(done)) => Frame::JobDone {
+            job,
+            workload: done.workload,
+            instructions: done.instructions,
+            accesses: done.accesses,
+            hits: done.hits,
+            misses: done.misses,
+            windows: done.windows,
+            ipc_bits: done.ipc_bits,
+        },
+        Ok(Err((code, detail))) => Frame::ErrorReply { code, detail },
+        Err(failure) => Frame::ErrorReply {
+            code: ErrorCode::Internal,
+            detail: failure.to_string(),
+        },
+    };
+    let _ = final_frame.write_to(&mut stream);
+    gate.signal();
+}
+
+/// The replay pipeline — identical to `sdbp-repro trace replay`'s, which
+/// is what makes wire results bit-identical to in-process ones.
+fn run_replay(
+    job: u64,
+    policy: &str,
+    llc: CacheConfig,
+    window: u32,
+    trace: &[u8],
+    stream: &mut TcpStream,
+) -> Result<DoneStats, (ErrorCode, String)> {
+    let reader = TraceReader::new(Cursor::new(trace))
+        .map_err(|e| (ErrorCode::BadTrace, e.to_string()))?;
+    let meta = reader.meta().clone();
+    let workload = try_record_for_core(&meta.name, reader, meta.count, 0)
+        .map_err(|e| (ErrorCode::BadTrace, e.to_string()))?;
+    let spec: sdbp::registry::PolicySpec =
+        policy.parse().map_err(|e: sdbp::SpecError| (ErrorCode::BadSpec, e.to_string()))?;
+    let built = sdbp::registry::standard()
+        .build(&spec, llc, 1)
+        .map_err(|e| (ErrorCode::BadSpec, e.to_string()))?;
+    let mut cache = Cache::with_policy(llc, built);
+    let (result, windows): (ReplayResult, u64) = if window > 0 {
+        // Stream each completed window as it closes. A dead connection
+        // stops the writes but not the replay: the job still completes
+        // and its telemetry stays truthful.
+        let mut writing = true;
+        let mut probe = WindowStream::new(window as usize, |index, misses| {
+            if writing {
+                writing =
+                    Frame::WindowResult { job, index, misses }.write_to(stream).is_ok();
+            }
+        });
+        let r = replay_with_probe(&workload.llc, &mut cache, &mut probe);
+        probe.finish();
+        let emitted = probe.windows();
+        (r, emitted)
+    } else {
+        (replay(&workload.llc, &mut cache), 0)
+    };
+    let ipc = CoreModel::default().simulate(&workload.records, &result.hits).ipc();
+    Ok(DoneStats {
+        workload: workload.name.clone(),
+        instructions: workload.instructions(),
+        accesses: workload.llc.len() as u64,
+        hits: result.stats.hits,
+        misses: result.stats.misses,
+        windows,
+        ipc_bits: ipc.to_bits(),
+    })
+}

@@ -66,6 +66,6 @@ pub mod writer;
 pub use error::TraceIoError;
 pub use format::{TraceMeta, DEFAULT_CHUNK_RECORDS, FORMAT_VERSION, MAGIC};
 pub use import::{import_text, parse_line};
-pub use reader::{Integrity, TraceReader};
+pub use reader::{ChunkStat, Integrity, TraceReader};
 pub use source::FileSource;
 pub use writer::{TraceWriter, WriteSummary};

@@ -22,6 +22,40 @@ pub enum Integrity {
     Fast,
 }
 
+/// Shape of one data chunk, recorded as the reader streams past it.
+///
+/// `payload_bytes / (16 * records)` is the chunk's compression ratio
+/// against the 16-byte nominal record (8-byte PC + 8-byte address a
+/// fixed-width encoding would spend); see
+/// [`nominal_record_bytes`](ChunkStat::NOMINAL_RECORD_BYTES).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct ChunkStat {
+    /// Records the chunk frame declared (and the decoder consumed).
+    pub records: u32,
+    /// Encoded payload size in bytes.
+    pub payload_bytes: u32,
+}
+
+impl ChunkStat {
+    /// Bytes per record of the fixed-width baseline the delta codec is
+    /// measured against: an 8-byte PC plus an 8-byte address.
+    pub const NOMINAL_RECORD_BYTES: u64 = 16;
+
+    /// Encoded bytes per record.
+    #[must_use]
+    pub fn bytes_per_record(&self) -> f64 {
+        f64::from(self.payload_bytes) / f64::from(self.records.max(1))
+    }
+
+    /// Compression ratio: encoded bytes over the 16-byte nominal
+    /// fixed-width encoding (lower is better; 1.0 means no gain).
+    #[must_use]
+    pub fn compression_ratio(&self) -> f64 {
+        let nominal = u64::from(self.records.max(1)) * Self::NOMINAL_RECORD_BYTES;
+        f64::from(self.payload_bytes) / nominal as f64
+    }
+}
+
 /// Streaming `.sdbt` reader: holds one decoded chunk in memory at a time,
 /// so a multi-hundred-million-access trace replays in O(chunk) space.
 ///
@@ -42,6 +76,7 @@ pub struct TraceReader<R: Read> {
     decoded: u64,
     global: GlobalChecksum,
     done: bool,
+    chunk_stats: Vec<ChunkStat>,
 }
 
 impl TraceReader<BufReader<File>> {
@@ -95,6 +130,7 @@ impl<R: Read> TraceReader<R> {
             decoded: 0,
             global: GlobalChecksum::new(),
             done: false,
+            chunk_stats: Vec::new(),
         })
     }
 
@@ -106,6 +142,15 @@ impl<R: Read> TraceReader<R> {
     /// Data chunks consumed so far.
     pub fn chunks_read(&self) -> u64 {
         self.chunk_index
+    }
+
+    /// Per-chunk record counts and encoded sizes, in file order, for the
+    /// chunks consumed so far (all of them once the stream is drained).
+    /// This is how `sdbp-repro trace info` sizes wire-transfer chunk
+    /// limits: the largest encoded chunk bounds what one transfer frame
+    /// must carry.
+    pub fn chunk_stats(&self) -> &[ChunkStat] {
+        &self.chunk_stats
     }
 
     /// Loads the next chunk. Returns `false` on the (validated) end
@@ -145,6 +190,7 @@ impl<R: Read> TraceReader<R> {
         self.pos = 0;
         self.chunk_records_left = records;
         self.delta = DeltaState::default();
+        self.chunk_stats.push(ChunkStat { records, payload_bytes: payload_len });
         Ok(true)
     }
 
