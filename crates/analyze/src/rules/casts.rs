@@ -7,9 +7,10 @@
 //! the worst possible failure for a format whose whole contract is
 //! byte-identical record/replay (PR 2, CI's record-replay-diff gate).
 //!
-//! Scope: the encode/decode files of `sdbp-traceio`, plus the serve
+//! Scope: the encode/decode files of `sdbp-traceio`, the serve
 //! crate's frame codec (same silent-corruption stakes, now across a
-//! socket). Flags `as` casts to
+//! socket), and the sample crate's `.sdbs` plan codec (a truncated
+//! window index silently replays the wrong segment). Flags `as` casts to
 //! narrow integer types (u8/u16/u32 and signed siblings) unless the
 //! value is visibly masked to fit on the same line (`(v & 0x7f) as u8` is
 //! the varint idiom and provably lossless). Casts to 64-bit and to
@@ -27,6 +28,7 @@ const SCOPE: &[&str] = &[
     "crates/traceio/src/reader.rs",
     "crates/traceio/src/writer.rs",
     "crates/serve/src/protocol.rs",
+    "crates/sample/src/plan.rs",
 ];
 
 /// Maximum value representable by each flagged narrow target.
@@ -160,5 +162,13 @@ mod tests {
         assert_eq!(run("crates/serve/src/protocol.rs", src).len(), 1);
         // The rest of the serve crate is not codec code.
         assert!(run("crates/serve/src/server.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sample_plan_codec_is_in_scope() {
+        let src = "fn f(n: usize) -> u32 { n as u32 }";
+        assert_eq!(run("crates/sample/src/plan.rs", src).len(), 1);
+        // The clustering side of the sample crate is not codec code.
+        assert!(run("crates/sample/src/kmeans.rs", src).is_empty());
     }
 }

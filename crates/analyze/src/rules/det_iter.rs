@@ -9,9 +9,11 @@
 //! variability failure mode reuse-prediction replications warn about
 //! (PAPERS.md, "Addressing Variability in Reuse Prediction").
 //!
-//! Scope: engine source, the harness's result-producing modules, and
+//! Scope: engine source, the harness's result-producing modules,
 //! `sdbp-serve` (wire results must be as replay-order-deterministic as
-//! in-process ones).
+//! in-process ones), and `sdbp-sample` (a plan is a persisted artifact —
+//! any hashed-container order leaking into clustering or serialization
+//! breaks the bit-stable-plans guarantee).
 //! `HashMap`/`HashSet` are banned there outright (lookup-only uses would
 //! be fine in principle, but an ordered `BTreeMap` costs nothing at
 //! report scale and cannot regress into iteration later).
@@ -26,6 +28,7 @@ const SCOPE: &[&str] = &[
     "crates/harness/src/table.rs",
     "crates/harness/src/experiments/",
     "crates/serve/src/",
+    "crates/sample/src/",
 ];
 
 /// See the [module docs](self).
@@ -100,5 +103,11 @@ mod tests {
     fn serve_result_paths_are_in_scope() {
         let src = "fn f() { let m = std::collections::HashMap::new(); }";
         assert_eq!(run("crates/serve/src/server.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn sample_plan_paths_are_in_scope() {
+        let src = "fn f() { let m = std::collections::HashMap::new(); }";
+        assert_eq!(run("crates/sample/src/kmeans.rs", src).len(), 1);
     }
 }

@@ -7,9 +7,11 @@
 //! joined by a panicking aggregator), `cache::recorder` (the fallible
 //! recording path feeding both), `cache::replay` (the measurement
 //! plane: misaligned hit maps are a typed `SplitHitsError`, not an
-//! assert), and `sdbp-serve` (a daemon that panics on a malformed frame
+//! assert), `sdbp-serve` (a daemon that panics on a malformed frame
 //! is a remote denial of service; every wire defect must be a typed
-//! `FrameError`).
+//! `FrameError`), and `sdbp-sample` (a corrupt `.sdbs` plan must surface
+//! as a typed `PlanError`, and a plan/stream mismatch as a
+//! `SampleError` — never a panic mid-campaign).
 //!
 //! Flags `.unwrap()`, `.expect(...)`, `panic!`, `todo!`, `unimplemented!`,
 //! and `[]`-indexing expressions (which can panic on out-of-bounds; use
@@ -25,6 +27,7 @@ const SCOPE: &[&str] = &[
     "crates/cache/src/recorder.rs",
     "crates/cache/src/replay.rs",
     "crates/serve/src/",
+    "crates/sample/src/",
 ];
 
 /// See the [module docs](self).
@@ -178,5 +181,12 @@ mod tests {
         let src = "fn f(buf: &[u8]) -> u8 { buf[0] }";
         assert_eq!(run("crates/serve/src/protocol.rs", src).len(), 1);
         assert_eq!(run("crates/serve/src/session.rs", "fn f() { a.unwrap(); }").len(), 1);
+    }
+
+    #[test]
+    fn sample_plan_code_is_in_scope() {
+        let src = "fn f(buf: &[u8]) -> u8 { buf[0] }";
+        assert_eq!(run("crates/sample/src/plan.rs", src).len(), 1);
+        assert_eq!(run("crates/sample/src/kmeans.rs", "fn f() { a.unwrap(); }").len(), 1);
     }
 }

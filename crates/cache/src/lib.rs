@@ -57,5 +57,9 @@ pub use config::CacheConfig;
 pub use meta::{HitMap, MetaPlane};
 pub use policy::{Access, ReplacementPolicy, Victim};
 pub use recorder::{record, InstrKind, InstrRecord, LlcAccess, RecordedWorkload};
-pub use replay::{replay, replay_with_probe, ReplayProbe, ReplayResult, SplitHitsError};
+pub use replay::{
+    replay, replay_segment, replay_with_probe, Fingerprint, ReplayProbe, ReplayResult,
+    SampledReplayResult, SegmentError, SplitHitsError, WindowFingerprint,
+    FINGERPRINT_FEATURES,
+};
 pub use stats::CacheStats;

@@ -36,9 +36,25 @@ impl ReplayResult {
 /// Probes are the supported way to derive time-resolved measurements
 /// (phase behaviour, per-window miss counts) from a replay without
 /// keeping a second copy of the outcome stream.
+///
+/// Outcome-only probes ([`WindowMisses`], [`WindowStream`]) implement
+/// [`on_access`](ReplayProbe::on_access); probes that also need the
+/// access itself ([`WindowFingerprint`]) override
+/// [`on_access_detail`](ReplayProbe::on_access_detail), whose default
+/// delegates to `on_access`. [`replay_with_probe`] always drives
+/// `on_access_detail`, so either entry point sees every access.
 pub trait ReplayProbe {
     /// Called once per access with its stream index and outcome.
     fn on_access(&mut self, index: usize, hit: bool);
+
+    /// Called once per access with the access itself alongside its
+    /// outcome. The default forwards to
+    /// [`on_access`](ReplayProbe::on_access); override it when the probe
+    /// needs addresses or PCs (e.g. to fingerprint windows).
+    fn on_access_detail(&mut self, index: usize, access: &LlcAccess, hit: bool) {
+        let _ = access;
+        self.on_access(index, hit);
+    }
 }
 
 /// A [`ReplayProbe`] counting misses per fixed-size access window.
@@ -186,6 +202,220 @@ impl<F: FnMut(u64, u64)> ReplayProbe for WindowStream<F> {
     }
 }
 
+/// Number of features in a per-window [`WindowFingerprint`] vector.
+///
+/// Layout: miss rate, set-touch footprint, distinct-PC fraction, write
+/// fraction, first-touch fraction, then five reuse-distance histogram
+/// buckets (distance in accesses since the block was last touched:
+/// ≤16, ≤256, ≤4096, ≤65536, >65536), each normalized by the window's
+/// access count so partial tail windows stay comparable.
+pub const FINGERPRINT_FEATURES: usize = 10;
+
+/// A per-window behavioural feature vector, all components in `[0, 1]`.
+pub type Fingerprint = [f64; FINGERPRINT_FEATURES];
+
+/// Upper edges of the reuse-distance histogram buckets (the last bucket
+/// is unbounded).
+const REUSE_EDGES: [u64; 4] = [16, 256, 4096, 65536];
+
+/// A [`ReplayProbe`] computing a cheap behavioural [`Fingerprint`] per
+/// fixed-size access window, alongside the window's miss count.
+///
+/// This is the feature extractor of the sampling plane (`sdbp-sample`):
+/// one fingerprint pass over a trace yields the per-window vectors its
+/// k-means clustering groups into phases. The features are policy-light —
+/// only the miss rate depends on the cache the probe rides on; footprint,
+/// PC diversity, write mix and reuse-distance shape are properties of the
+/// stream itself — so a plan fingerprinted on one policy transfers to
+/// others.
+///
+/// ```
+/// use sdbp_cache::replay::{replay_with_probe, WindowFingerprint};
+/// use sdbp_cache::{Cache, CacheConfig};
+/// use sdbp_cache::recorder::record;
+/// use sdbp_trace::{kernel::KernelSpec, TraceBuilder};
+///
+/// let t = TraceBuilder::new(9).kernel(KernelSpec::hot_set(1 << 14)).build();
+/// let w = record("demo", t, 20_000);
+/// let config = CacheConfig::new(64, 8);
+/// let mut probe = WindowFingerprint::new(1000, config.sets);
+/// replay_with_probe(&w.llc, &mut Cache::new(config), &mut probe);
+/// probe.finish();
+/// assert_eq!(probe.fingerprints().len(), w.llc.len().div_ceil(1000));
+/// ```
+#[derive(Debug)]
+pub struct WindowFingerprint {
+    window: usize,
+    sets: usize,
+    /// Current window ordinal; doubles as the generation stamp for the
+    /// per-set and per-PC touch tracking.
+    current: u64,
+    in_window: usize,
+    misses: u64,
+    writes: u64,
+    first_touches: u64,
+    reuse: [u64; REUSE_EDGES.len() + 1],
+    /// Last window that touched each set (`u64::MAX` = never).
+    set_stamp: Vec<u64>,
+    distinct_sets: usize,
+    /// Last window that touched each PC.
+    pc_stamp: std::collections::HashMap<u64, u64>,
+    distinct_pcs: usize,
+    /// Stream index of the last touch of each block (whole-stream, so
+    /// reuse arcs crossing window boundaries are still observed).
+    last_touch: std::collections::HashMap<u64, u64>,
+    fingerprints: Vec<Fingerprint>,
+    miss_counts: Vec<u64>,
+    window_lens: Vec<u32>,
+}
+
+impl WindowFingerprint {
+    /// A fingerprint probe with `window` accesses per bucket, mapping
+    /// blocks onto `sets` cache sets for the footprint feature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or `sets` is not a power of two.
+    pub fn new(window: usize, sets: usize) -> Self {
+        assert!(window > 0, "fingerprint window must be non-empty");
+        assert!(sets.is_power_of_two(), "sets must be a power of two, got {sets}");
+        WindowFingerprint {
+            window,
+            sets,
+            current: 0,
+            in_window: 0,
+            misses: 0,
+            writes: 0,
+            first_touches: 0,
+            reuse: [0; REUSE_EDGES.len() + 1],
+            set_stamp: vec![u64::MAX; sets],
+            distinct_sets: 0,
+            pc_stamp: std::collections::HashMap::new(),
+            distinct_pcs: 0,
+            last_touch: std::collections::HashMap::new(),
+            fingerprints: Vec::new(),
+            miss_counts: Vec::new(),
+            window_lens: Vec::new(),
+        }
+    }
+
+    /// Accesses per window.
+    pub const fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Completed fingerprints, in stream order.
+    pub fn fingerprints(&self) -> &[Fingerprint] {
+        &self.fingerprints
+    }
+
+    /// Miss count of each completed window, in stream order.
+    pub fn miss_counts(&self) -> &[u64] {
+        &self.miss_counts
+    }
+
+    /// Access count of each completed window (all equal to
+    /// [`window`](Self::window) except a partial tail).
+    pub fn window_lens(&self) -> &[u32] {
+        &self.window_lens
+    }
+
+    /// Flushes a partial final window, if any accesses are buffered.
+    /// Idempotent once the buffer is empty.
+    pub fn finish(&mut self) {
+        if self.in_window > 0 {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        let len = self.in_window as f64;
+        let frac = |n: u64| n as f64 / len;
+        let mut features = [0.0; FINGERPRINT_FEATURES];
+        let mut parts = features.iter_mut();
+        let mut put = |v: f64| {
+            if let Some(slot) = parts.next() {
+                *slot = v;
+            }
+        };
+        put(frac(self.misses));
+        put(self.distinct_sets as f64 / self.sets as f64);
+        put(self.distinct_pcs as f64 / len);
+        put(frac(self.writes));
+        put(frac(self.first_touches));
+        for bucket in self.reuse {
+            put(frac(bucket));
+        }
+        self.fingerprints.push(features);
+        self.miss_counts.push(self.misses);
+        // Windows are bounded by the (usize) stream position, so the
+        // length always fits a u32 window... unless someone asks for a
+        // >4G-access window; saturate rather than wrap in that case.
+        self.window_lens.push(u32::try_from(self.in_window).unwrap_or(u32::MAX));
+        self.current += 1;
+        self.in_window = 0;
+        self.misses = 0;
+        self.writes = 0;
+        self.first_touches = 0;
+        self.reuse = [0; REUSE_EDGES.len() + 1];
+        self.distinct_sets = 0;
+        self.distinct_pcs = 0;
+    }
+}
+
+impl ReplayProbe for WindowFingerprint {
+    fn on_access(&mut self, index: usize, hit: bool) {
+        // Outcome-only driving loses the access; synthesize a blank one so
+        // the miss-rate feature (and windowing) still advance. Callers
+        // should drive this probe through `replay_with_probe`, which always
+        // supplies the access.
+        let blank = LlcAccess {
+            pc: sdbp_trace::Pc::new(0),
+            block: sdbp_trace::BlockAddr::new(0),
+            kind: sdbp_trace::AccessKind::Read,
+            core: 0,
+            instr: 0,
+        };
+        self.on_access_detail(index, &blank, hit);
+    }
+
+    fn on_access_detail(&mut self, index: usize, access: &LlcAccess, hit: bool) {
+        if !hit {
+            self.misses += 1;
+        }
+        if access.kind == sdbp_trace::AccessKind::Write {
+            self.writes += 1;
+        }
+        let set = access.block.set_index(self.sets);
+        if let Some(stamp) = self.set_stamp.get_mut(set) {
+            if *stamp != self.current {
+                *stamp = self.current;
+                self.distinct_sets += 1;
+            }
+        }
+        let pc_stamp = self.pc_stamp.entry(access.pc.raw()).or_insert(u64::MAX);
+        if *pc_stamp != self.current {
+            *pc_stamp = self.current;
+            self.distinct_pcs += 1;
+        }
+        match self.last_touch.insert(access.block.raw(), index as u64) {
+            Some(prev) => {
+                let distance = (index as u64).saturating_sub(prev);
+                let bucket = REUSE_EDGES.iter().position(|&edge| distance <= edge);
+                let slot = bucket.unwrap_or(REUSE_EDGES.len());
+                if let Some(count) = self.reuse.get_mut(slot) {
+                    *count += 1;
+                }
+            }
+            None => self.first_touches += 1,
+        }
+        self.in_window += 1;
+        if self.in_window == self.window {
+            self.flush();
+        }
+    }
+}
+
 /// Replays `stream` against `cache`, returning statistics and the
 /// per-access hit map. The cache's policy sees every access exactly as the
 /// LLC would during execution.
@@ -209,11 +439,131 @@ pub fn replay_with_probe(
     for (i, a) in stream.iter().enumerate() {
         let access = Access::demand(a.pc, a.block, a.kind, a.core);
         let hit = cache.access(&access).is_hit();
-        probe.on_access(i, hit);
+        probe.on_access_detail(i, a, hit);
         hits.push(hit);
     }
     cache.finish();
     ReplayResult { stats: cache.stats(), hits }
+}
+
+/// A warmup/measure segment handed to [`replay_segment`] does not fit the
+/// stream: the ranges are not contiguous or run past the stream's end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentError {
+    /// Start of the warmup range.
+    pub warmup_start: usize,
+    /// Start of the measured range (must equal the warmup range's end).
+    pub measure_start: usize,
+    /// End of the measured range.
+    pub measure_end: usize,
+    /// Accesses in the stream.
+    pub stream_len: usize,
+}
+
+impl std::fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "segment [{}..{}..{}) does not fit a {}-access stream",
+            self.warmup_start, self.measure_start, self.measure_end, self.stream_len
+        )
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+/// Replays one sampled segment: the warmup range `warmup_start..
+/// measure_start` unmeasured (it only populates `cache`'s state), then the
+/// measured range `measure_start..measure_end`, returning the measured
+/// range's hit pattern. `cache` should be fresh — the sampling plane
+/// replays each representative on its own cold-started cache, exactly as
+/// SimPoint-style interval simulation warms each interval independently.
+///
+/// # Errors
+///
+/// Returns [`SegmentError`] when the ranges are out of order or overrun
+/// the stream.
+pub fn replay_segment(
+    stream: &[LlcAccess],
+    warmup_start: usize,
+    measure_start: usize,
+    measure_end: usize,
+    cache: &mut Cache,
+) -> Result<HitMap, SegmentError> {
+    let misfit = SegmentError {
+        warmup_start,
+        measure_start,
+        measure_end,
+        stream_len: stream.len(),
+    };
+    if warmup_start > measure_start || measure_start > measure_end {
+        return Err(misfit);
+    }
+    let warmup = stream.get(warmup_start..measure_start).ok_or(misfit)?;
+    let measured = stream.get(measure_start..measure_end).ok_or(misfit)?;
+    for a in warmup {
+        let access = Access::demand(a.pc, a.block, a.kind, a.core);
+        cache.access(&access);
+    }
+    let mut hits = HitMap::with_capacity(measured.len());
+    for a in measured {
+        let access = Access::demand(a.pc, a.block, a.kind, a.core);
+        hits.push(cache.access(&access).is_hit());
+    }
+    cache.finish();
+    Ok(hits)
+}
+
+/// Outcome of a sampled (representative-interval) replay: the
+/// extrapolated full-stream miss count, the exact count when a validation
+/// replay was also run, and the relative error between them.
+///
+/// Produced by the sampling plane (`sdbp-sample`); defined here so the
+/// measurement plane owns the result vocabulary the rest of the stack
+/// (harness, CLI, CI) consumes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SampledReplayResult {
+    /// Extrapolated full-stream miss count (each window tiled with its
+    /// cluster representative's measured hit pattern).
+    pub estimated: u64,
+    /// Exact full-stream miss count, when an exact replay was run for
+    /// validation; `None` in production sampled runs.
+    pub exact: Option<u64>,
+    /// `|estimated - exact| / exact`, when `exact` is known.
+    pub rel_error: Option<f64>,
+    /// The plan's stated relative error bound the estimate is expected to
+    /// stay within.
+    pub bound: f64,
+    /// Full-stream hit map synthesized by tiling representative patterns,
+    /// aligned with the stream (so timing models consume it unchanged).
+    pub hits: HitMap,
+    /// Accesses actually replayed (warmup + measured), the cost paid.
+    pub replayed: u64,
+    /// Accesses of the full stream, the cost avoided.
+    pub total: u64,
+}
+
+impl SampledReplayResult {
+    /// Fills in the exact miss count and the resulting relative error.
+    #[must_use]
+    pub fn with_exact(mut self, exact: u64) -> Self {
+        self.exact = Some(exact);
+        self.rel_error =
+            Some((self.estimated as f64 - exact as f64).abs() / (exact.max(1)) as f64);
+        self
+    }
+
+    /// How many times less replay work the sampled run did (`total /
+    /// replayed`).
+    pub fn work_reduction(&self) -> f64 {
+        self.total as f64 / self.replayed.max(1) as f64
+    }
+
+    /// Whether the measured error stayed within the stated bound
+    /// (`None` until [`with_exact`](Self::with_exact) supplies the truth).
+    pub fn within_bound(&self) -> Option<bool> {
+        self.rel_error.map(|e| e <= self.bound)
+    }
 }
 
 /// A stream and hit map of different lengths were handed to
@@ -375,6 +725,126 @@ mod tests {
         w.finish();
         assert_eq!(w.windows(), 2);
         assert_eq!(emitted, 2);
+    }
+
+    #[test]
+    fn fingerprint_probe_does_not_perturb_and_pins_features() {
+        let w = workload();
+        let config = CacheConfig::new(64, 8);
+        let mut probe = WindowFingerprint::new(10_000, config.sets);
+        let r = replay_with_probe(&w.llc, &mut Cache::new(config), &mut probe);
+        probe.finish();
+        let plain = replay(&w.llc, &mut Cache::new(config));
+        assert_eq!(r, plain, "the probe must not perturb the replay");
+        assert_eq!(probe.fingerprints().len(), w.llc.len().div_ceil(10_000));
+        assert_eq!(probe.miss_counts().iter().sum::<u64>(), r.stats.misses);
+        assert_eq!(
+            probe.window_lens().iter().map(|&l| u64::from(l)).sum::<u64>(),
+            w.llc.len() as u64
+        );
+        for f in probe.fingerprints() {
+            for (i, v) in f.iter().enumerate() {
+                assert!((0.0..=1.0).contains(v), "feature {i} = {v} out of range");
+            }
+            // First-touch fraction plus the reuse buckets partition the
+            // window exactly.
+            let reuse_sum: f64 = f.iter().skip(4).sum();
+            assert!((reuse_sum - 1.0).abs() < 1e-9, "reuse features sum to {reuse_sum}");
+        }
+        // Pin the first window's fingerprint: the workload, seed, window
+        // and feature definitions are all fixed, so these bits must never
+        // drift (the sampling plane's plans depend on them).
+        let again = {
+            let mut p = WindowFingerprint::new(10_000, config.sets);
+            replay_with_probe(&w.llc, &mut Cache::new(config), &mut p);
+            p.finish();
+            p.fingerprints().to_vec()
+        };
+        assert_eq!(again, probe.fingerprints(), "fingerprints must be bit-stable");
+        let first = probe.fingerprints().first().copied().expect("at least one window");
+        let miss_rate = probe.miss_counts().first().copied().unwrap_or(0) as f64 / 10_000.0;
+        assert_eq!(first.first().copied(), Some(miss_rate));
+    }
+
+    #[test]
+    fn fingerprints_separate_phases() {
+        // A trace that alternates kernels must yield windows whose
+        // fingerprints differ; identical-behaviour windows must coincide
+        // closely. Build two single-kernel workloads and compare their
+        // windows' fingerprints.
+        let config = CacheConfig::new(64, 8);
+        let fp = |spec: KernelSpec| {
+            let t = TraceBuilder::new(5).kernel(spec).build();
+            let w = record("k", t, 300_000);
+            let mut p = WindowFingerprint::new(1024, config.sets);
+            replay_with_probe(&w.llc, &mut Cache::new(config), &mut p);
+            p.finish();
+            p.fingerprints().to_vec()
+        };
+        let streaming = fp(KernelSpec::streaming(1 << 22));
+        let hot = fp(KernelSpec::hot_set(1 << 19));
+        let dist = |a: &Fingerprint, b: &Fingerprint| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+        };
+        let (Some(s0), Some(s1)) = (streaming.get(1), streaming.get(2)) else {
+            panic!("streaming trace too short for two full windows");
+        };
+        let Some(h0) = hot.get(1) else { panic!("hot-set trace too short") };
+        assert!(
+            dist(s0, h0) > 10.0 * dist(s0, s1).max(1e-12),
+            "cross-kernel distance {} must dominate within-kernel {}",
+            dist(s0, h0),
+            dist(s0, s1)
+        );
+    }
+
+    #[test]
+    fn segment_replay_matches_full_replay_prefix() {
+        // Warming from the stream start makes a segment's measured pattern
+        // identical to the same range of a full replay.
+        let w = workload();
+        let config = CacheConfig::new(64, 8);
+        let full = replay(&w.llc, &mut Cache::new(config));
+        let (a, b) = (w.llc.len() / 3, 2 * w.llc.len() / 3);
+        let pattern = replay_segment(&w.llc, 0, a, b, &mut Cache::new(config))
+            .expect("segment fits");
+        assert_eq!(pattern.len(), b - a);
+        for (i, bit) in pattern.iter().enumerate() {
+            assert_eq!(Some(bit), full.hits.get(a + i), "divergence at offset {i}");
+        }
+    }
+
+    #[test]
+    fn segment_replay_rejects_misfits() {
+        let w = workload();
+        let config = CacheConfig::new(64, 8);
+        let n = w.llc.len();
+        for (ws, ms, me) in [(10, 5, 20), (0, 30, 20), (0, 10, n + 1), (n + 1, n + 2, n + 3)] {
+            let err = replay_segment(&w.llc, ws, ms, me, &mut Cache::new(config))
+                .expect_err("misfit must be a typed error");
+            assert_eq!(err.stream_len, n);
+            assert!(err.to_string().contains("does not fit"));
+        }
+    }
+
+    #[test]
+    fn sampled_result_accounting() {
+        let r = SampledReplayResult {
+            estimated: 95,
+            exact: None,
+            rel_error: None,
+            bound: 0.06,
+            hits: HitMap::repeat(true, 10),
+            replayed: 100,
+            total: 1000,
+        };
+        assert_eq!(r.within_bound(), None);
+        assert!((r.work_reduction() - 10.0).abs() < 1e-12);
+        let v = r.with_exact(100);
+        assert_eq!(v.exact, Some(100));
+        let e = v.rel_error.expect("exact supplied");
+        assert!((e - 0.05).abs() < 1e-12);
+        assert_eq!(v.within_bound(), Some(true));
     }
 
     #[test]

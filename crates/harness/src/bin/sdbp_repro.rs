@@ -11,6 +11,7 @@
 //! sdbp-repro --output results.txt all
 //! sdbp-repro --jobs 8 all              # 8 engine workers
 //! sdbp-repro --serial fig4             # single-threaded reference run
+//! sdbp-repro --sampled plans/ fig4     # sampled replay from .sdbs plans
 //! sdbp-repro trace record --workload 456.hmmer --out hmmer.sdbt
 //! sdbp-repro trace replay hmmer.sdbt   # bit-exact archived replay
 //! sdbp-repro trace import --in foreign.txt --out foreign.sdbt
@@ -99,6 +100,22 @@ fn main() {
                     }
                 }
             }
+            "--sampled" => {
+                let dir = match args.get(i + 1) {
+                    Some(d) if std::path::Path::new(d).is_dir() => d.clone(),
+                    Some(d) => {
+                        eprintln!("--sampled needs an existing directory, got '{d}'");
+                        std::process::exit(2);
+                    }
+                    None => {
+                        eprintln!("--sampled needs a directory of .sdbs plans");
+                        std::process::exit(2);
+                    }
+                };
+                // Read per workload by run_policy; set before any replay.
+                std::env::set_var(sdbp_harness::runner::SAMPLE_DIR_ENV, dir);
+                args.drain(i..=i + 1);
+            }
             "--output" => {
                 let path = match args.get(i + 1) {
                     Some(p) => p.clone(),
@@ -124,8 +141,8 @@ fn main() {
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
         eprintln!(
             "usage: sdbp-repro [--instructions N] [--output FILE] [--jobs N | --serial] \
-             [list | all | <experiment>...]\n       sdbp-repro trace \
-             [record | replay | import | info] ...\n       sdbp-repro \
+             [--sampled DIR] [list | all | <experiment>...]\n       sdbp-repro trace \
+             [record | replay | sample | import | info] ...\n       sdbp-repro \
              [serve | submit] ...\n       sdbp-repro list-policies"
         );
         eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));

@@ -7,9 +7,10 @@ use sdbp_cache::recorder::{
     RecordedWorkload,
 };
 use sdbp_cache::replay::{replay, split_hits_by_core};
-use sdbp_cache::{CacheConfig, CacheStats};
+use sdbp_cache::{CacheConfig, CacheStats, SampledReplayResult};
 use sdbp_cpu::CoreModel;
 use sdbp_engine::{Engine, Job};
+use sdbp_sample::{replay_sampled, SamplingPlan};
 use sdbp_trace::TraceSource;
 use sdbp_traceio::FileSource;
 use sdbp_workloads::{instructions, Benchmark, Mix};
@@ -146,12 +147,78 @@ impl RecordStore {
     }
 }
 
+/// Environment variable naming a directory of `.sdbs` sampling plans.
+/// When set, [`run_policy`] (and therefore every single-core experiment
+/// cell) replays `{name}.sdbs` plans sampled instead of exact — the
+/// `--sampled` mode of the experiment runner. Plans are produced by
+/// `sdbp-repro trace sample`.
+pub const SAMPLE_DIR_ENV: &str = "SDBP_SAMPLE_DIR";
+
+/// The sampling plan [`run_policy`] would use for `name`, if
+/// `SDBP_SAMPLE_DIR` is set and `{name}.sdbs` exists there.
+pub fn sampling_plan_path(name: &str) -> Option<PathBuf> {
+    let dir = PathBuf::from(std::env::var_os(SAMPLE_DIR_ENV)?);
+    let plan = dir.join(format!("{name}.sdbs"));
+    plan.is_file().then_some(plan)
+}
+
+/// Replays `policy` under `plan` (representatives only, extrapolated),
+/// returning both the harness-shaped row and the raw sampled result. The
+/// row's `misses`/`mpki` carry the extrapolated estimate; `ipc` comes
+/// from the timing model over the tiled hit map, exactly as an exact
+/// replay would feed it.
+///
+/// # Errors
+///
+/// A plan that is invalid or was built for a different stream, described
+/// as a string (the CLI's error currency).
+pub fn run_policy_sampled(
+    workload: &RecordedWorkload,
+    policy: &PolicyKind,
+    llc: CacheConfig,
+    plan: &SamplingPlan,
+) -> Result<(SingleResult, SampledReplayResult), String> {
+    let sampled = replay_sampled(&workload.llc, plan, || {
+        sdbp_cache::Cache::with_policy(llc, policy.build(llc, 1))
+    })
+    .map_err(|e| e.to_string())?;
+    let timing = CoreModel::default().simulate(&workload.records, &sampled.hits);
+    let stats = CacheStats {
+        accesses: sampled.total,
+        hits: sampled.total - sampled.estimated,
+        misses: sampled.estimated,
+        ..CacheStats::default()
+    };
+    let row = SingleResult {
+        benchmark: workload.name.clone(),
+        policy: policy.label(),
+        misses: sampled.estimated,
+        mpki: stats.mpki(workload.instructions()),
+        ipc: timing.ipc(),
+        stats,
+    };
+    Ok((row, sampled))
+}
+
 /// Replays `policy` over a recorded single-core workload and computes IPC.
+///
+/// With `SDBP_SAMPLE_DIR` set and a `{name}.sdbs` plan present (see
+/// [`sampling_plan_path`]), the replay runs sampled under that plan; a
+/// corrupt plan or one built for a different trace panics with the plan
+/// error, since silently falling back to an exact replay would misreport
+/// a 10–100× slower run as sampled.
 pub fn run_policy(
     workload: &RecordedWorkload,
     policy: &PolicyKind,
     llc: CacheConfig,
 ) -> SingleResult {
+    if let Some(path) = sampling_plan_path(&workload.name) {
+        let plan = SamplingPlan::load(&path)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let (row, _) = run_policy_sampled(workload, policy, llc, &plan)
+            .unwrap_or_else(|e| panic!("sampled replay of {}: {e}", workload.name));
+        return row;
+    }
     let mut cache = sdbp_cache::Cache::with_policy(llc, policy.build(llc, 1));
     let result = replay(&workload.llc, &mut cache);
     let timing = CoreModel::default().simulate(&workload.records, &result.hits);

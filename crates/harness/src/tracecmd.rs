@@ -18,12 +18,13 @@
 //! default pair: `sdbp-repro trace replay t.sdbt --policy rrip --policy
 //! sampler:assoc=16`. `sdbp-repro list-policies` prints the registry.
 
-use crate::runner::{record_from_source, run_policy, PolicyKind};
+use crate::runner::{record_from_source, run_policy, run_policy_sampled, PolicyKind};
 use sdbp::registry::PolicySpec;
 use sdbp_cache::recorder::{record_for_core, RecordedWorkload};
 use sdbp_cache::replay::replay;
-use sdbp_cache::CacheConfig;
+use sdbp_cache::{Cache, CacheConfig};
 use sdbp_cpu::CoreModel;
+use sdbp_sample::{build_plan, calibrate_bound, replay_sampled, PlanConfig, SamplingPlan};
 use sdbp_traceio::{
     import_text, ChunkStat, FileSource, TraceMeta, TraceReader, TraceWriter, WriteSummary,
 };
@@ -37,6 +38,7 @@ pub fn run(args: &[String]) -> i32 {
     let result = match args.first().map(String::as_str) {
         Some("record") => cmd_record(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("sample") => cmd_sample(&args[1..]),
         Some("import") => cmd_import(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("help") | Some("--help") | None => {
@@ -56,14 +58,18 @@ pub fn run(args: &[String]) -> i32 {
 
 const USAGE: &str = "usage:
   sdbp-repro trace record --workload NAME --out FILE.sdbt [--instructions N] [--core C]
-  sdbp-repro trace replay FILE.sdbt [--core C] [--policy SPEC]...
+  sdbp-repro trace replay FILE.sdbt [--core C] [--policy SPEC]... [--sampled PLAN.sdbs]
   sdbp-repro trace replay --workload NAME [--instructions N] [--core C] [--policy SPEC]...
+  sdbp-repro trace sample FILE.sdbt --out PLAN.sdbs [--window N] [--clusters K]
+                          [--warmup W] [--seed S] [--jobs J] [--core C]
+  sdbp-repro trace sample PLAN.sdbs             (inspect an existing plan)
   sdbp-repro trace import --in FILE.txt --out FILE.sdbt [--name NAME]
   sdbp-repro trace info FILE.sdbt
 
 --policy takes a registry spec like 'lru', 'rrip', or
 'sampler:assoc=16,tables=1'; see `sdbp-repro list-policies`. Without it,
-replay reports the default LRU + Sampler pair.";
+replay reports the default LRU + Sampler pair. --sampled replays only the
+plan's representative windows and extrapolates (estimate + error bound).";
 
 /// Tiny flag parser: `--key value` pairs plus positional arguments.
 struct Flags {
@@ -164,7 +170,8 @@ fn report_write(out: &Path, summary: &WriteSummary, secs: f64) {
 }
 
 fn cmd_replay(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args, &["workload", "instructions", "core", "policy"])?;
+    let flags =
+        Flags::parse(args, &["workload", "instructions", "core", "policy", "sampled"])?;
     let core = core_id(&flags)?;
     let workload = match (flags.get("workload"), flags.positional.as_slice()) {
         (Some(name), []) => {
@@ -180,10 +187,20 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         _ => return Err(format!("replay needs a FILE.sdbt or --workload NAME\n{USAGE}")),
     };
     let specs = flags.get_all("policy");
-    let summary = if specs.is_empty() {
-        replay_summary(&workload, CacheConfig::llc_2mb())
-    } else {
-        replay_specs(&workload, CacheConfig::llc_2mb(), &specs)?
+    let llc = CacheConfig::llc_2mb();
+    let summary = match flags.get("sampled") {
+        Some(plan_path) => {
+            let plan_path = Path::new(plan_path);
+            let plan = SamplingPlan::load(plan_path)
+                .map_err(|e| format!("{}: {e}", plan_path.display()))?;
+            if specs.is_empty() {
+                sampled_summary(&workload, llc, &plan)?
+            } else {
+                sampled_specs(&workload, llc, &plan, &specs)?
+            }
+        }
+        None if specs.is_empty() => replay_summary(&workload, llc),
+        None => replay_specs(&workload, llc, &specs)?,
     };
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -245,6 +262,187 @@ pub fn replay_specs(
         ));
     }
     Ok(out)
+}
+
+/// The sampled replay table: same columns as [`replay_summary`] (misses
+/// carry the extrapolated estimate) plus the plan's stated error bound
+/// and the replay-work reduction, so a sampled line can never be mistaken
+/// for an exact one.
+pub fn sampled_summary(
+    workload: &RecordedWorkload,
+    llc: CacheConfig,
+    plan: &SamplingPlan,
+) -> Result<String, String> {
+    let mut out = String::new();
+    for policy in [PolicyKind::Lru, PolicyKind::Sampler] {
+        let (row, sampled) = run_policy_sampled(workload, &policy, llc, plan)?;
+        out.push_str(&format!(
+            "{} {} misses={} mpki={:.6} ipc={:.6} sampled bound={:.4} reduction={:.1}x\n",
+            row.benchmark,
+            row.policy,
+            row.misses,
+            row.mpki,
+            row.ipc,
+            sampled.bound,
+            sampled.work_reduction()
+        ));
+    }
+    Ok(out)
+}
+
+/// [`sampled_summary`] for explicit `--policy` specs.
+///
+/// # Errors
+///
+/// A malformed or unknown spec, or a plan that does not fit the stream.
+pub fn sampled_specs(
+    workload: &RecordedWorkload,
+    llc: CacheConfig,
+    plan: &SamplingPlan,
+    specs: &[&str],
+) -> Result<String, String> {
+    let registry = sdbp::registry::standard();
+    let mut out = String::new();
+    for raw in specs {
+        let spec: PolicySpec = raw.parse().map_err(|e: sdbp::SpecError| e.to_string())?;
+        // Validate the spec once up front so the per-representative cache
+        // factory below cannot fail.
+        registry.build(&spec, llc, 1).map_err(|e| e.to_string())?;
+        let sampled = replay_sampled(&workload.llc, plan, || {
+            let policy =
+                registry.build(&spec, llc, 1).expect("spec validated above");
+            sdbp_cache::Cache::with_policy(llc, policy)
+        })
+        .map_err(|e| e.to_string())?;
+        let timing = CoreModel::default().simulate(&workload.records, &sampled.hits);
+        out.push_str(&format!(
+            "{} {} misses={} mpki={:.6} ipc={:.6} sampled bound={:.4} reduction={:.1}x\n",
+            workload.name,
+            spec,
+            sampled.estimated,
+            sampled.estimated as f64 * 1000.0 / workload.instructions() as f64,
+            timing.ipc(),
+            sampled.bound,
+            sampled.work_reduction()
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_sample(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(
+        args,
+        &["out", "window", "clusters", "warmup", "seed", "jobs", "core"],
+    )?;
+    let [path] = flags.positional.as_slice() else {
+        return Err(format!("sample needs exactly one FILE.sdbt or PLAN.sdbs\n{USAGE}"));
+    };
+    let path = Path::new(path);
+    match flags.get("out") {
+        Some(out) => cmd_sample_build(path, Path::new(out), &flags),
+        None => cmd_sample_inspect(path),
+    }
+}
+
+/// `trace sample FILE.sdbt --out PLAN.sdbs`: fingerprint, cluster, and
+/// persist a sampling plan.
+fn cmd_sample_build(trace: &Path, out: &Path, flags: &Flags) -> Result<(), String> {
+    let core = core_id(flags)?;
+    let mut cfg = PlanConfig::default();
+    if let Some(w) = flags.get_u64("window")? {
+        cfg.window = u32::try_from(w).map_err(|_| "--window too large".to_owned())?;
+    }
+    if let Some(k) = flags.get_u64("clusters")? {
+        cfg.k = u32::try_from(k).map_err(|_| "--clusters too large".to_owned())?;
+    }
+    if let Some(w) = flags.get_u64("warmup")? {
+        cfg.warmup_windows =
+            u32::try_from(w).map_err(|_| "--warmup too large".to_owned())?;
+    }
+    if let Some(s) = flags.get_u64("seed")? {
+        cfg.seed = s;
+    }
+    if let Some(j) = flags.get_u64("jobs")? {
+        cfg.jobs = usize::try_from(j).map_err(|_| "--jobs too large".to_owned())?;
+    }
+    if cfg.window == 0 {
+        return Err("--window must be positive".into());
+    }
+
+    let started = Instant::now();
+    let workload = workload_from_file(trace, core)?;
+    let llc = CacheConfig::llc_2mb();
+    let mut plan = build_plan(&workload, llc, &cfg);
+    // Calibrate the stated bound against learning references — the
+    // paper-config SDBP policy and the trace-based predictor: learning
+    // references expose cross-policy transfer error (predictor training
+    // dynamics) that the builder's baseline self-validation cannot see,
+    // and the two families train differently enough that either alone
+    // can understate the other's error. Costs one extra exact replay per
+    // reference, paid once per plan.
+    let registry = sdbp::registry::standard();
+    let registry = &registry;
+    let mut refs: Vec<Box<dyn FnMut() -> Cache>> = Vec::new();
+    for name in ["sampler", "tdbp"] {
+        let spec: PolicySpec =
+            name.parse().map_err(|e| format!("{name} spec: {e}"))?;
+        registry
+            .build(&spec, llc, 1)
+            .map_err(|e| format!("{name} policy: {e}"))?;
+        refs.push(Box::new(move || {
+            let policy = registry.build(&spec, llc, 1).expect("spec validated above");
+            Cache::with_policy(llc, policy)
+        }));
+    }
+    calibrate_bound(&workload.llc, &mut plan, &mut refs, cfg.safety, cfg.floor)
+        .map_err(|e| format!("calibrating {}: {e}", out.display()))?;
+    plan.save(out).map_err(|e| format!("{}: {e}", out.display()))?;
+    eprintln!(
+        "[sampled {} into {} windows -> {} clusters, calibrated bound {:.4}, \
+         planned reduction {:.1}x, {:.1}s -> {}]",
+        plan.source,
+        plan.num_windows(),
+        plan.clusters(),
+        plan.bound,
+        plan.source_len as f64 / plan.planned_replay_accesses().max(1) as f64,
+        started.elapsed().as_secs_f64(),
+        out.display()
+    );
+    Ok(())
+}
+
+/// `trace sample PLAN.sdbs`: validate and describe an existing plan.
+fn cmd_sample_inspect(path: &Path) -> Result<(), String> {
+    let bytes = std::fs::metadata(path)
+        .map_err(|e| format!("{}: {e}", path.display()))?
+        .len();
+    let plan =
+        SamplingPlan::load(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    println!("file:            {}", path.display());
+    println!("format:          sdbs v{} ({bytes} bytes)", sdbp_sample::PLAN_VERSION);
+    println!("source:          {} ({} accesses)", plan.source, plan.source_len);
+    println!("window:          {} accesses", plan.window);
+    println!("warmup:          {} window(s)", plan.warmup_windows);
+    println!("seed:            {:#018x}", plan.seed);
+    println!("windows:         {}", plan.num_windows());
+    println!("clusters:        {} (k={} requested)", plan.clusters(), plan.k);
+    println!("error bound:     {:.4}", plan.bound);
+    println!(
+        "planned work:    {} accesses ({:.1}x reduction)",
+        plan.planned_replay_accesses(),
+        plan.source_len as f64 / plan.planned_replay_accesses().max(1) as f64
+    );
+    let populations = plan.populations();
+    for (c, (&rep, pop)) in plan.representatives.iter().zip(&populations).enumerate() {
+        println!(
+            "  cluster {c:>3}: {pop:>6} window(s), representative window {rep} \
+             (accesses {}..{})",
+            rep * u64::from(plan.window),
+            ((rep + 1) * u64::from(plan.window)).min(plan.source_len)
+        );
+    }
+    println!("integrity:       ok (checksum and structure validated)");
+    Ok(())
 }
 
 fn cmd_import(args: &[String]) -> Result<(), String> {

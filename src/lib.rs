@@ -13,6 +13,7 @@ pub use sdbp_optimal as optimal;
 pub use sdbp_power as power;
 pub use sdbp_predictors as predictors;
 pub use sdbp_replacement as replacement;
+pub use sdbp_sample as sample;
 pub use sdbp_serve as serve;
 pub use sdbp_trace as trace;
 pub use sdbp_traceio as traceio;
