@@ -1,0 +1,580 @@
+//! The incremental analysis cache (`target/analyze-cache.json`).
+//!
+//! Phase 1 of a scan — lex, parse, per-file rules, fact extraction — is
+//! a pure function of one file's bytes, so its result can be keyed by a
+//! content hash and reused verbatim. On a warm tree every file hits,
+//! phase 1 collapses to hashing, and the whole scan (including every
+//! cross-file graph rule, which always runs fresh over the cached
+//! facts) finishes in well under a second.
+//!
+//! Invalidation is deliberately blunt:
+//!
+//! - per file, by FNV-1a 64 hash of the file's bytes;
+//! - globally, by a schema tag and a digest of the active rule id list
+//!   — adding, removing, or renaming a rule drops the whole cache;
+//! - any parse failure of the cache file is a silent cold start, never
+//!   an error (the cache is an accelerator, not a correctness input).
+//!
+//! Finding *routing* (allowlist, exempts, line escapes) happens after
+//! cache lookup, so editing `analyze.toml` re-routes cached findings
+//! without invalidating anything.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use sdbp_engine::json::JsonWriter;
+
+use crate::graph::{
+    DiscardFact, EnumFact, EscapeFact, FileFacts, FnFact, PolicyNameFact, RefFact, Site,
+    VariantFact,
+};
+use crate::rules::Finding;
+use crate::workspace::FileAnalysis;
+
+/// Cache document schema, bumped on breaking shape changes.
+pub const CACHE_SCHEMA: &str = "sdbp-analyze-cache/v1";
+
+/// FNV-1a 64-bit content hash.
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The digest that invalidates the cache when the rule set changes.
+#[must_use]
+pub fn rules_digest() -> String {
+    crate::rules::rule_ids().join(",")
+}
+
+/// One cached per-file result.
+#[derive(Debug)]
+pub struct CacheEntry {
+    /// FNV-1a 64 of the file bytes the entry was computed from.
+    pub hash: u64,
+    /// The phase-1 result.
+    pub analysis: FileAnalysis,
+}
+
+/// The cache: path → entry.
+#[derive(Debug, Default)]
+pub struct Cache {
+    /// Entries by workspace-relative path.
+    pub entries: BTreeMap<String, CacheEntry>,
+}
+
+impl Cache {
+    /// Loads the cache at `path`. Any failure — missing file, parse
+    /// error, schema or rules-digest mismatch, unknown rule id —
+    /// returns an empty cache (a cold start).
+    #[must_use]
+    pub fn load(path: &Path) -> Cache {
+        let Ok(text) = std::fs::read_to_string(path) else { return Cache::default() };
+        parse_cache(&text).unwrap_or_default()
+    }
+
+    /// Serializes and writes the cache to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Directory creation or the write fails.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+        std::fs::write(path, self.render())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))
+    }
+
+    fn render(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("schema").string(CACHE_SCHEMA);
+        w.key("rules").string(&rules_digest());
+        w.key("files").begin_array();
+        for (path, entry) in &self.entries {
+            w.begin_object();
+            w.key("path").string(path);
+            w.key("hash").string(&format!("{:016x}", entry.hash));
+            w.key("findings").begin_array();
+            for f in &entry.analysis.findings {
+                w.begin_object();
+                w.key("rule").string(f.rule);
+                w.key("line").uint(u64::from(f.line));
+                w.key("col").uint(u64::from(f.col));
+                w.key("message").string(&f.message);
+                w.key("snippet").string(&f.snippet);
+                w.end_object();
+            }
+            w.end_array();
+            let facts = &entry.analysis.facts;
+            w.key("facts").begin_object();
+            w.key("fns").begin_array();
+            for f in &facts.fns {
+                w.begin_object();
+                w.key("name").string(&f.name);
+                w.key("result").boolean(f.returns_result);
+                w.end_object();
+            }
+            w.end_array();
+            w.key("enums").begin_array();
+            for e in &facts.enums {
+                w.begin_object();
+                w.key("name").string(&e.name);
+                w.key("variants").begin_array();
+                for v in &e.variants {
+                    w.begin_object();
+                    w.key("name").string(&v.name);
+                    write_site(&mut w, &v.site);
+                    w.end_object();
+                }
+                w.end_array();
+                w.end_object();
+            }
+            w.end_array();
+            w.key("refs").begin_array();
+            for r in &facts.refs {
+                w.begin_object();
+                w.key("ctx").string(&r.context_fn);
+                w.key("path").string(&r.path);
+                w.end_object();
+            }
+            w.end_array();
+            w.key("discards").begin_array();
+            for d in &facts.discards {
+                w.begin_object();
+                w.key("callees").begin_array();
+                for c in &d.callees {
+                    w.string(c);
+                }
+                w.end_array();
+                w.key("ok").boolean(d.ends_in_ok);
+                write_site(&mut w, &d.site);
+                w.end_object();
+            }
+            w.end_array();
+            w.key("ok_drops").begin_array();
+            for s in &facts.ok_drops {
+                w.begin_object();
+                write_site(&mut w, s);
+                w.end_object();
+            }
+            w.end_array();
+            w.key("policy_names").begin_array();
+            for p in &facts.policy_names {
+                w.begin_object();
+                w.key("name").string(&p.name);
+                write_site(&mut w, &p.site);
+                w.end_object();
+            }
+            w.end_array();
+            w.key("iterates_registry").boolean(facts.iterates_registry);
+            w.key("str_lits").begin_array();
+            for s in &facts.str_lits {
+                w.string(s);
+            }
+            w.end_array();
+            w.key("escapes").begin_array();
+            for e in &facts.escapes {
+                w.begin_object();
+                w.key("line").uint(u64::from(e.line));
+                w.key("rule").string(&e.rule);
+                w.key("reason").string(&e.reason);
+                w.end_object();
+            }
+            w.end_array();
+            w.end_object(); // facts
+            w.end_object(); // file
+        }
+        w.end_array();
+        w.end_object();
+        let mut doc = w.finish();
+        doc.push('\n');
+        doc
+    }
+}
+
+fn write_site(w: &mut JsonWriter, s: &Site) {
+    w.key("line").uint(u64::from(s.line));
+    w.key("col").uint(u64::from(s.col));
+    w.key("snippet").string(&s.snippet);
+}
+
+// ---------------------------------------------------------------------
+// Deserialization: a minimal recursive-descent JSON reader over the
+// subset `JsonWriter` emits. Any deviation returns `None`, which the
+// caller treats as a cold start.
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+enum Json {
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn boolean(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn u32(&self) -> Option<u32> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && *n <= f64::from(u32::MAX) && n.fract() == 0.0 => {
+                // Range and integrality checked on the line above.
+                // sdbp-allow(lossless-codec-casts): guarded f64→u32 of a line/col number
+                Some(*n as u32)
+            }
+            _ => None,
+        }
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Option<()> {
+        self.ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn value(&mut self) -> Option<Json> {
+        self.ws();
+        match self.bytes.get(self.pos)? {
+            b'{' => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                self.ws();
+                if self.bytes.get(self.pos) == Some(&b'}') {
+                    self.pos += 1;
+                    return Some(Json::Obj(pairs));
+                }
+                loop {
+                    self.ws();
+                    let key = self.string()?;
+                    self.eat(b':')?;
+                    let val = self.value()?;
+                    pairs.push((key, val));
+                    self.ws();
+                    match self.bytes.get(self.pos)? {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Some(Json::Obj(pairs));
+                        }
+                        _ => return None,
+                    }
+                }
+            }
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.ws();
+                if self.bytes.get(self.pos) == Some(&b']') {
+                    self.pos += 1;
+                    return Some(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.ws();
+                    match self.bytes.get(self.pos)? {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Some(Json::Arr(items));
+                        }
+                        _ => return None,
+                    }
+                }
+            }
+            b'"' => Some(Json::Str(self.string()?)),
+            b't' => self.lit("true").map(|()| Json::Bool(true)),
+            b'f' => self.lit("false").map(|()| Json::Bool(false)),
+            _ => self.number(),
+        }
+    }
+
+    fn lit(&mut self, word: &str) -> Option<()> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn number(&mut self) -> Option<Json> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse::<f64>()
+            .ok()
+            .map(Json::Num)
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos)? {
+                b'"' => {
+                    self.pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos + 1..self.pos + 5)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            self.pos += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    // Consume the whole run up to the next quote or escape
+                    // in one slice (both are ASCII, so a run never splits a
+                    // UTF-8 character) — validating the remainder per char
+                    // would make parsing quadratic in the cache size.
+                    let start = self.pos;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|&b| b != b'"' && b != b'\\')
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).ok()?);
+                }
+            }
+        }
+    }
+}
+
+fn parse_cache(text: &str) -> Option<Cache> {
+    let mut reader = Reader { bytes: text.as_bytes(), pos: 0 };
+    let doc = reader.value()?;
+    if doc.get("schema")?.str()? != CACHE_SCHEMA || doc.get("rules")?.str()? != rules_digest() {
+        return None;
+    }
+    // Map serialized rule names back to their interned 'static ids.
+    let ids = crate::rules::rule_ids();
+    let intern = |name: &str| ids.iter().copied().find(|id| *id == name);
+
+    let mut entries = BTreeMap::new();
+    for file in doc.get("files")?.arr()? {
+        let path = file.get("path")?.str()?.to_owned();
+        let hash = u64::from_str_radix(file.get("hash")?.str()?, 16).ok()?;
+        let mut findings = Vec::new();
+        for f in file.get("findings")?.arr()? {
+            findings.push(Finding {
+                rule: intern(f.get("rule")?.str()?)?,
+                path: path.clone(),
+                line: f.get("line")?.u32()?,
+                col: f.get("col")?.u32()?,
+                message: f.get("message")?.str()?.to_owned(),
+                snippet: f.get("snippet")?.str()?.to_owned(),
+            });
+        }
+        let facts = parse_facts(file.get("facts")?)?;
+        entries.insert(path, CacheEntry { hash, analysis: FileAnalysis { findings, facts } });
+    }
+    Some(Cache { entries })
+}
+
+fn parse_site(v: &Json) -> Option<Site> {
+    Some(Site {
+        line: v.get("line")?.u32()?,
+        col: v.get("col")?.u32()?,
+        snippet: v.get("snippet")?.str()?.to_owned(),
+    })
+}
+
+fn parse_facts(v: &Json) -> Option<FileFacts> {
+    let mut facts = FileFacts::default();
+    for f in v.get("fns")?.arr()? {
+        facts.fns.push(FnFact {
+            name: f.get("name")?.str()?.to_owned(),
+            returns_result: f.get("result")?.boolean()?,
+        });
+    }
+    for e in v.get("enums")?.arr()? {
+        let mut variants = Vec::new();
+        for var in e.get("variants")?.arr()? {
+            variants
+                .push(VariantFact { name: var.get("name")?.str()?.to_owned(), site: parse_site(var)? });
+        }
+        facts.enums.push(EnumFact { name: e.get("name")?.str()?.to_owned(), variants });
+    }
+    for r in v.get("refs")?.arr()? {
+        facts.refs.push(RefFact {
+            context_fn: r.get("ctx")?.str()?.to_owned(),
+            path: r.get("path")?.str()?.to_owned(),
+        });
+    }
+    for d in v.get("discards")?.arr()? {
+        let mut callees = Vec::new();
+        for c in d.get("callees")?.arr()? {
+            callees.push(c.str()?.to_owned());
+        }
+        facts.discards.push(DiscardFact {
+            callees,
+            ends_in_ok: d.get("ok")?.boolean()?,
+            site: parse_site(d)?,
+        });
+    }
+    for s in v.get("ok_drops")?.arr()? {
+        facts.ok_drops.push(parse_site(s)?);
+    }
+    for p in v.get("policy_names")?.arr()? {
+        facts
+            .policy_names
+            .push(PolicyNameFact { name: p.get("name")?.str()?.to_owned(), site: parse_site(p)? });
+    }
+    facts.iterates_registry = v.get("iterates_registry")?.boolean()?;
+    for s in v.get("str_lits")?.arr()? {
+        facts.str_lits.push(s.str()?.to_owned());
+    }
+    for e in v.get("escapes")?.arr()? {
+        facts.escapes.push(EscapeFact {
+            line: e.get("line")?.u32()?,
+            rule: e.get("rule")?.str()?.to_owned(),
+            reason: e.get("reason")?.str()?.to_owned(),
+        });
+    }
+    Some(facts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::extract;
+    use crate::source::SourceFile;
+
+    fn analysis_of(path: &str, src: &str) -> FileAnalysis {
+        let file = SourceFile::from_source(path, src.to_owned());
+        let mut findings = Vec::new();
+        for rule in crate::rules::all_rules() {
+            rule.check(&file, &mut findings);
+        }
+        FileAnalysis { findings, facts: extract(&file) }
+    }
+
+    #[test]
+    fn fnv64_matches_reference_vectors() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"hello"), 0xa430_d846_80aa_bd0b);
+    }
+
+    #[test]
+    fn cache_roundtrips_findings_and_facts_exactly() {
+        let src = "pub enum Wire { Ping, Pong }\n\
+             pub fn fallible() -> Result<(), E> { Ok(()) }\n\
+             fn f(x: Option<u32>) -> u32 { let _ = sock.write_all(b\"q\\n\"); x.unwrap() }\n\
+             // sdbp-allow(no-panic-paths): unit test escape\n";
+        let mut cache = Cache::default();
+        let analysis = analysis_of("crates/traceio/src/reader.rs", src);
+        assert!(!analysis.findings.is_empty(), "fixture should trip no-panic-paths");
+        cache.entries.insert(
+            "crates/traceio/src/reader.rs".to_owned(),
+            CacheEntry { hash: fnv64(src.as_bytes()), analysis: analysis_of("crates/traceio/src/reader.rs", src) },
+        );
+
+        let tmp = std::env::temp_dir().join(format!("sdbp-analyze-cache-{}", std::process::id()));
+        let path = tmp.join("analyze-cache.json");
+        cache.save(&path).expect("save");
+        let loaded = Cache::load(&path);
+        std::fs::remove_dir_all(&tmp).expect("cleanup");
+
+        assert_eq!(loaded.entries.len(), 1);
+        let (orig, round) = (
+            &cache.entries["crates/traceio/src/reader.rs"],
+            &loaded.entries["crates/traceio/src/reader.rs"],
+        );
+        assert_eq!(orig.hash, round.hash);
+        assert_eq!(orig.analysis.findings, round.analysis.findings);
+        assert_eq!(orig.analysis.facts, round.analysis.facts);
+    }
+
+    #[test]
+    fn missing_garbage_and_stale_digest_caches_are_cold_starts() {
+        let tmp = std::env::temp_dir().join(format!("sdbp-analyze-cache2-{}", std::process::id()));
+        std::fs::create_dir_all(&tmp).expect("mkdir");
+        let path = tmp.join("cache.json");
+        assert!(Cache::load(&path).entries.is_empty(), "missing file");
+        std::fs::write(&path, "{not json").expect("write");
+        assert!(Cache::load(&path).entries.is_empty(), "garbage");
+        std::fs::write(
+            &path,
+            format!("{{\"schema\":\"{CACHE_SCHEMA}\",\"rules\":\"other-rules\",\"files\":[]}}"),
+        )
+        .expect("write");
+        assert!(Cache::load(&path).entries.is_empty(), "stale rules digest");
+        std::fs::remove_dir_all(&tmp).expect("cleanup");
+    }
+}

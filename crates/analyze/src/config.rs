@@ -1,16 +1,26 @@
-//! The checked-in allowlist (`analyze.toml`): the *audited* exceptions to
-//! the rule set.
+//! The checked-in policy file (`analyze.toml`): the *audited* exceptions
+//! to the rule set.
 //!
-//! The format is a deliberately small TOML subset — `[[allow]]` array
-//! headers with `key = "value"` string pairs — parsed by hand because
-//! the workspace is std-only. Every entry must carry a `reason`; an
-//! allowlist line without a justification is itself a config error, so
-//! the audit trail can never silently erode. Unknown rule ids are
-//! rejected too, which catches stale entries when rules are renamed.
+//! Two entry kinds exist, with deliberately different weights:
+//!
+//! - `[[allow]]` suppresses individual findings under a path prefix —
+//!   the finding is still computed and reported in the audit section.
+//! - `[[exempt]]` opts a path out of a rule entirely. Rules apply
+//!   workspace-wide by default (new crates are covered the day they are
+//!   created); an exempt is the explicit, justified statement that a
+//!   rule's invariant does not govern that code at all (e.g. wall-clock
+//!   time in the bench harness, whose *output* is wall-clock time).
+//!
+//! The format is a deliberately small TOML subset — array headers with
+//! `key = "value"` string pairs — parsed by hand because the workspace
+//! is std-only. Every entry must carry a `reason`; a line without a
+//! justification is itself a config error, so the audit trail can never
+//! silently erode. Unknown rule ids are rejected too, which catches
+//! stale entries when rules are renamed.
 //!
 //! ```text
 //! # analyze.toml
-//! [[allow]]
+//! [[exempt]]
 //! rule = "no-wallclock-in-sim"
 //! path = "crates/bench/src"
 //! reason = "measurement harness; wall-clock time is its output"
@@ -30,11 +40,13 @@ pub struct AllowEntry {
     pub reason: String,
 }
 
-/// The parsed allowlist.
+/// The parsed policy file.
 #[derive(Clone, Default, Debug)]
 pub struct Config {
-    /// Audited exceptions, in file order.
+    /// Audited finding suppressions, in file order.
     pub allows: Vec<AllowEntry>,
+    /// Audited rule opt-outs, in file order.
+    pub exempts: Vec<AllowEntry>,
 }
 
 impl Config {
@@ -45,30 +57,43 @@ impl Config {
     /// Malformed lines, entries missing `rule`/`path`/`reason`, or
     /// entries naming unknown rules; messages carry the line number.
     pub fn parse(text: &str, known_rules: &[&str]) -> Result<Config, String> {
-        let mut allows = Vec::new();
-        let mut current: Option<(AllowEntry, usize)> = None;
+        let mut cfg = Config::default();
+        // (entry, header line, is_exempt)
+        let mut current: Option<(AllowEntry, usize, bool)> = None;
+        let finish =
+            |cfg: &mut Config, cur: (AllowEntry, usize, bool)| -> Result<(), String> {
+                let is_exempt = cur.2;
+                let entry = finish_entry((cur.0, cur.1), known_rules)?;
+                if is_exempt {
+                    cfg.exempts.push(entry);
+                } else {
+                    cfg.allows.push(entry);
+                }
+                Ok(())
+            };
         for (idx, raw) in text.lines().enumerate() {
             let lineno = idx + 1;
             let line = raw.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            if line == "[[allow]]" {
-                if let Some(entry) = current.take() {
-                    allows.push(finish_entry(entry, known_rules)?);
+            if line == "[[allow]]" || line == "[[exempt]]" {
+                if let Some(cur) = current.take() {
+                    finish(&mut cfg, cur)?;
                 }
                 current = Some((
                     AllowEntry { rule: String::new(), path: String::new(), reason: String::new() },
                     lineno,
+                    line == "[[exempt]]",
                 ));
                 continue;
             }
             let Some((key, value)) = parse_kv(line) else {
                 return Err(format!("analyze.toml:{lineno}: cannot parse `{line}`"));
             };
-            let Some((entry, _)) = current.as_mut() else {
+            let Some((entry, _, _)) = current.as_mut() else {
                 return Err(format!(
-                    "analyze.toml:{lineno}: `{key}` outside an [[allow]] entry"
+                    "analyze.toml:{lineno}: `{key}` outside an [[allow]]/[[exempt]] entry"
                 ));
             };
             match key {
@@ -80,10 +105,10 @@ impl Config {
                 }
             }
         }
-        if let Some(entry) = current.take() {
-            allows.push(finish_entry(entry, known_rules)?);
+        if let Some(cur) = current.take() {
+            finish(&mut cfg, cur)?;
         }
-        Ok(Config { allows })
+        Ok(cfg)
     }
 
     /// Loads and parses `path`; a missing file is an empty config (the
@@ -104,6 +129,13 @@ impl Config {
     /// The entry allowing `rule` at `path`, if any.
     pub fn allows(&self, rule: &str, path: &str) -> Option<&AllowEntry> {
         self.allows
+            .iter()
+            .find(|a| a.rule == rule && (path == a.path || path.starts_with(a.path.as_str())))
+    }
+
+    /// The entry exempting `path` from `rule`, if any.
+    pub fn exempts(&self, rule: &str, path: &str) -> Option<&AllowEntry> {
+        self.exempts
             .iter()
             .find(|a| a.rule == rule && (path == a.path || path.starts_with(a.path.as_str())))
     }
@@ -190,5 +222,26 @@ mod tests {
     fn empty_and_comment_only_configs_are_valid() {
         assert!(Config::parse("", RULES).expect("empty ok").allows.is_empty());
         assert!(Config::parse("# nothing\n", RULES).expect("ok").allows.is_empty());
+    }
+
+    #[test]
+    fn exempt_entries_parse_and_match_separately_from_allows() {
+        let text = "[[exempt]]\nrule = \"no-wallclock-in-sim\"\n\
+                    path = \"crates/bench/src\"\nreason = \"wall time is the output\"\n\
+                    [[allow]]\nrule = \"no-panic-paths\"\npath = \"crates/engine/src/\"\n\
+                    reason = \"poisoning\"\n";
+        let cfg = Config::parse(text, RULES).expect("parses");
+        assert_eq!(cfg.exempts.len(), 1);
+        assert_eq!(cfg.allows.len(), 1);
+        assert!(cfg.exempts("no-wallclock-in-sim", "crates/bench/src/micro.rs").is_some());
+        assert!(cfg.exempts("no-panic-paths", "crates/engine/src/pool.rs").is_none());
+        assert!(cfg.allows("no-panic-paths", "crates/engine/src/pool.rs").is_some());
+    }
+
+    #[test]
+    fn exempt_without_reason_is_rejected() {
+        let text = "[[exempt]]\nrule = \"no-panic-paths\"\npath = \"crates/x\"\n";
+        let err = Config::parse(text, RULES).expect_err("must fail");
+        assert!(err.contains("reason"), "{err}");
     }
 }

@@ -446,4 +446,96 @@ mod tests {
         assert_eq!(strs, 2);
         assert_eq!(chars, 1);
     }
+
+    #[test]
+    fn multi_hash_raw_strings_ignore_shorter_closers() {
+        let src = "let x = r##\"one \"# two\"## ; after";
+        let lexed = lex(src);
+        let s = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Str)
+            .expect("raw string token");
+        assert_eq!(&src[s.start..s.end], "r##\"one \"# two\"##", "`\"#` must not close `r##`");
+        assert!(texts(src).contains(&"after"));
+    }
+
+    #[test]
+    fn raw_byte_strings_with_hashes_lex_as_one_literal() {
+        let src = "let m = br#\"tag \" byte\"# ; done";
+        let lexed = lex(src);
+        let s = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Str)
+            .expect("raw byte string token");
+        assert_eq!(&src[s.start..s.end], "br#\"tag \" byte\"#");
+        assert!(texts(src).contains(&"done"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let src = "let r#match = r#struct + 1; tail";
+        let lexed = lex(src);
+        assert!(
+            lexed.tokens.iter().all(|t| t.kind != TokenKind::Str),
+            "`r#ident` must not open a raw string"
+        );
+        let toks = texts(src);
+        assert!(toks.contains(&"match"));
+        assert!(toks.contains(&"tail"));
+    }
+
+    #[test]
+    fn unterminated_literals_degrade_without_panicking() {
+        for src in
+            ["let s = \"never ends", "let r = r#\"open", "/* open comment", "let c = '"]
+        {
+            let lexed = lex(src);
+            assert!(
+                !lexed.tokens.is_empty() || !lexed.comments.is_empty(),
+                "{src:?} lexes to something"
+            );
+        }
+    }
+
+    #[test]
+    fn static_anonymous_and_label_lifetimes_all_lex_as_lifetimes() {
+        let src = "fn f(x: &'static str, y: &'_ u8) { 'outer: loop { break 'outer; } }";
+        let lexed = lex(src);
+        let lifetimes: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| &src[t.start..t.end])
+            .collect();
+        assert_eq!(lifetimes, vec!["'static", "'_", "'outer", "'outer"]);
+        assert!(lexed.tokens.iter().all(|t| t.kind != TokenKind::Char));
+    }
+
+    #[test]
+    fn escaped_char_literals_are_not_lifetimes() {
+        let src = r"let q = '\''; let b = '\\'; let n = '\n';";
+        let lexed = lex(src);
+        assert_eq!(lexed.tokens.iter().filter(|t| t.kind == TokenKind::Char).count(), 3);
+        assert_eq!(lexed.tokens.iter().filter(|t| t.kind == TokenKind::Lifetime).count(), 0);
+    }
+
+    #[test]
+    fn block_comments_containing_quotes_and_markers_close_at_depth() {
+        let src = "/* \" // /* 'nested */ \" */ code";
+        assert_eq!(texts(src), vec!["code"]);
+    }
+
+    #[test]
+    fn multibyte_text_does_not_desynchronize_spans() {
+        let src = "// caché — naïve\nlet s = \"héllo ≤ wörld\"; done";
+        let toks = texts(src);
+        assert!(toks.contains(&"let"), "{toks:?}");
+        assert!(toks.contains(&"done"), "{toks:?}");
+        let lexed = lex(src);
+        for t in &lexed.tokens {
+            assert!(src.get(t.start..t.end).is_some(), "span off a char boundary");
+        }
+    }
 }

@@ -8,10 +8,10 @@
 
 use sdbp_engine::json::JsonWriter;
 
-use crate::rules::{Finding, Rule};
+use crate::rules::{Finding, RuleInfo};
 
 /// JSON schema identifier, bumped on breaking shape changes.
-pub const REPORT_SCHEMA: &str = "sdbp-analyze-report/v1";
+pub const REPORT_SCHEMA: &str = "sdbp-analyze-report/v2";
 
 /// A finding that was matched by an escape hatch and therefore does not
 /// fail the run, retained for the audit section of the report.
@@ -34,6 +34,11 @@ pub struct Report {
     pub allowed: Vec<Allowed>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Findings dropped by `[[exempt]]` rule opt-outs.
+    pub exempted: usize,
+    /// Files whose phase-1 analysis was reused from the incremental
+    /// cache.
+    pub cache_hits: usize,
 }
 
 /// Sorts findings into the canonical report order.
@@ -45,7 +50,7 @@ pub fn sort_findings(findings: &mut [Finding]) {
 
 /// Renders the human-readable report.
 #[must_use]
-pub fn render_human(report: &Report, rules: &[Box<dyn Rule>]) -> String {
+pub fn render_human(report: &Report, rules: &[RuleInfo]) -> String {
     let mut out = String::new();
     for f in &report.findings {
         out.push_str(&format!(
@@ -58,24 +63,28 @@ pub fn render_human(report: &Report, rules: &[Box<dyn Rule>]) -> String {
     }
     let mut per_rule: Vec<(&str, usize)> = rules
         .iter()
-        .map(|r| (r.id(), report.findings.iter().filter(|f| f.rule == r.id()).count()))
+        .map(|r| (r.id, report.findings.iter().filter(|f| f.rule == r.id).count()))
         .collect();
     per_rule.retain(|(_, n)| *n > 0);
     if per_rule.is_empty() {
         out.push_str(&format!(
-            "analyze: clean — {} files scanned, 0 findings ({} allowed)\n",
+            "analyze: clean — {} files scanned ({} cached), 0 findings ({} allowed, {} exempted)\n",
             report.files_scanned,
-            report.allowed.len()
+            report.cache_hits,
+            report.allowed.len(),
+            report.exempted
         ));
     } else {
         for (id, n) in &per_rule {
             out.push_str(&format!("analyze: {n} finding(s) for {id}\n"));
         }
         out.push_str(&format!(
-            "analyze: FAILED — {} files scanned, {} finding(s) ({} allowed)\n",
+            "analyze: FAILED — {} files scanned ({} cached), {} finding(s) ({} allowed, {} exempted)\n",
             report.files_scanned,
+            report.cache_hits,
             report.findings.len(),
-            report.allowed.len()
+            report.allowed.len(),
+            report.exempted
         ));
     }
     out
@@ -83,19 +92,21 @@ pub fn render_human(report: &Report, rules: &[Box<dyn Rule>]) -> String {
 
 /// Renders the JSON report document.
 #[must_use]
-pub fn render_json(report: &Report, rules: &[Box<dyn Rule>]) -> String {
+pub fn render_json(report: &Report, rules: &[RuleInfo]) -> String {
     let mut w = JsonWriter::new();
     w.begin_object();
     w.key("schema").string(REPORT_SCHEMA);
     w.key("files_scanned").uint(report.files_scanned as u64);
+    w.key("cache_hits").uint(report.cache_hits as u64);
+    w.key("exempted").uint(report.exempted as u64);
     w.key("clean").boolean(report.findings.is_empty());
 
     w.key("rules").begin_array();
     for r in rules {
-        let count = report.findings.iter().filter(|f| f.rule == r.id()).count();
+        let count = report.findings.iter().filter(|f| f.rule == r.id).count();
         w.begin_object();
-        w.key("id").string(r.id());
-        w.key("summary").string(r.summary());
+        w.key("id").string(r.id);
+        w.key("summary").string(r.summary);
         w.key("findings").uint(count as u64);
         w.end_object();
     }
@@ -138,7 +149,7 @@ fn write_finding(w: &mut JsonWriter, f: &Finding) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rules::all_rules;
+    use crate::rules::all_rule_info;
 
     fn finding(path: &str, line: u32, col: u32, rule: &'static str) -> Finding {
         Finding {
@@ -169,11 +180,11 @@ mod tests {
     #[test]
     fn clean_report_renders_clean_line_and_valid_json() {
         let report = Report { files_scanned: 12, ..Report::default() };
-        let rules = all_rules();
+        let rules = all_rule_info();
         let human = render_human(&report, &rules);
         assert!(human.contains("clean"), "{human}");
         let json = render_json(&report, &rules);
-        assert!(json.contains("\"schema\":\"sdbp-analyze-report/v1\""));
+        assert!(json.contains("\"schema\":\"sdbp-analyze-report/v2\""));
         assert!(json.contains("\"clean\":true"));
         assert!(json.contains("\"files_scanned\":12"));
     }
@@ -187,7 +198,7 @@ mod tests {
             source: "analyze.toml",
             reason: "telemetry".to_owned(),
         });
-        let rules = all_rules();
+        let rules = all_rule_info();
         let human = render_human(&report, &rules);
         assert!(human.contains("crates/x/src/lib.rs:4:9"), "{human}");
         assert!(human.contains("FAILED"), "{human}");

@@ -7,10 +7,11 @@
 //! the worst possible failure for a format whose whole contract is
 //! byte-identical record/replay (PR 2, CI's record-replay-diff gate).
 //!
-//! Scope: the encode/decode files of `sdbp-traceio`, the serve
-//! crate's frame codec (same silent-corruption stakes, now across a
-//! socket), and the sample crate's `.sdbs` plan codec (a truncated
-//! window index silently replays the wrong segment). Flags `as` casts to
+//! Applies to all non-test library code, workspace-wide — any file can
+//! grow a persistence or wire path, and a narrowing cast is as silent in
+//! arithmetic as in a codec. Crates whose narrowing casts are bounded by
+//! construction (cache geometry arithmetic validated at config time) opt
+//! out via `[[exempt]]` entries in `analyze.toml`. Flags `as` casts to
 //! narrow integer types (u8/u16/u32 and signed siblings) unless the
 //! value is visibly masked to fit on the same line (`(v & 0x7f) as u8` is
 //! the varint idiom and provably lossless). Casts to 64-bit and to
@@ -19,17 +20,9 @@
 //! Deliberate remaining casts carry `sdbp-allow` with the invariant that
 //! makes them safe.
 
-use super::{finding_at, in_scope, Finding, Rule};
+use super::{finding_at, Finding, Rule};
 use crate::lexer::{int_literal_value, TokenKind};
 use crate::source::{FileClass, SourceFile};
-
-const SCOPE: &[&str] = &[
-    "crates/traceio/src/format.rs",
-    "crates/traceio/src/reader.rs",
-    "crates/traceio/src/writer.rs",
-    "crates/serve/src/protocol.rs",
-    "crates/sample/src/plan.rs",
-];
 
 /// Maximum value representable by each flagged narrow target.
 fn narrow_max(ty: &str) -> Option<u128> {
@@ -58,7 +51,7 @@ impl Rule for LosslessCodecCasts {
     }
 
     fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
-        if file.class != FileClass::Library || !in_scope(&file.rel_path, SCOPE) {
+        if file.class != FileClass::Library {
             return;
         }
         let toks = &file.lexed.tokens;
@@ -150,25 +143,12 @@ mod tests {
     }
 
     #[test]
-    fn out_of_scope_codec_free_files_are_ignored() {
+    fn every_library_file_is_in_scope() {
+        // Workspace-wide default: narrowing casts are flagged wherever
+        // they appear; crate opt-outs live in analyze.toml, not here.
         let src = "fn f(n: usize) -> u32 { n as u32 }";
-        assert!(run("crates/traceio/src/error.rs", src).is_empty());
-        assert!(run("crates/cache/src/cache.rs", src).is_empty());
-    }
-
-    #[test]
-    fn serve_frame_codec_is_in_scope() {
-        let src = "fn f(n: usize) -> u32 { n as u32 }";
-        assert_eq!(run("crates/serve/src/protocol.rs", src).len(), 1);
-        // The rest of the serve crate is not codec code.
-        assert!(run("crates/serve/src/server.rs", src).is_empty());
-    }
-
-    #[test]
-    fn sample_plan_codec_is_in_scope() {
-        let src = "fn f(n: usize) -> u32 { n as u32 }";
-        assert_eq!(run("crates/sample/src/plan.rs", src).len(), 1);
-        // The clustering side of the sample crate is not codec code.
-        assert!(run("crates/sample/src/kmeans.rs", src).is_empty());
+        assert_eq!(run("crates/traceio/src/error.rs", src).len(), 1);
+        assert_eq!(run("crates/serve/src/server.rs", src).len(), 1);
+        assert_eq!(run("crates/sample/src/kmeans.rs", src).len(), 1);
     }
 }

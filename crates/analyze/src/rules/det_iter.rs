@@ -9,27 +9,16 @@
 //! variability failure mode reuse-prediction replications warn about
 //! (PAPERS.md, "Addressing Variability in Reuse Prediction").
 //!
-//! Scope: engine source, the harness's result-producing modules,
-//! `sdbp-serve` (wire results must be as replay-order-deterministic as
-//! in-process ones), and `sdbp-sample` (a plan is a persisted artifact —
-//! any hashed-container order leaking into clustering or serialization
-//! breaks the bit-stable-plans guarantee).
-//! `HashMap`/`HashSet` are banned there outright (lookup-only uses would
-//! be fine in principle, but an ordered `BTreeMap` costs nothing at
-//! report scale and cannot regress into iteration later).
+//! Applies to all non-test library code, workspace-wide — every crate
+//! feeds a result, a report, or a persisted artifact sooner or later.
+//! `HashMap`/`HashSet` are banned outright (lookup-only uses would be
+//! fine in principle, but an ordered `BTreeMap` costs nothing at report
+//! scale and cannot regress into iteration later). Opt-outs go through
+//! `[[exempt]]` entries in `analyze.toml` with a written reason.
 
-use super::{finding_at, in_scope, Finding, Rule};
+use super::{finding_at, Finding, Rule};
 use crate::lexer::TokenKind;
 use crate::source::{FileClass, SourceFile};
-
-const SCOPE: &[&str] = &[
-    "crates/engine/src/",
-    "crates/harness/src/runner.rs",
-    "crates/harness/src/table.rs",
-    "crates/harness/src/experiments/",
-    "crates/serve/src/",
-    "crates/sample/src/",
-];
 
 /// See the [module docs](self).
 #[derive(Debug)]
@@ -45,7 +34,7 @@ impl Rule for DeterministicIteration {
     }
 
     fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
-        if file.class != FileClass::Library || !in_scope(&file.rel_path, SCOPE) {
+        if file.class != FileClass::Library {
             return;
         }
         for t in &file.lexed.tokens {
@@ -88,9 +77,9 @@ mod tests {
     }
 
     #[test]
-    fn btree_is_fine_and_other_paths_are_out_of_scope() {
+    fn btree_is_fine_and_hashed_containers_are_flagged_everywhere() {
         assert!(run("crates/engine/src/report.rs", "use std::collections::BTreeMap;").is_empty());
-        assert!(run("crates/trace/src/stats.rs", "use std::collections::HashSet;").is_empty());
+        assert_eq!(run("crates/trace/src/stats.rs", "use std::collections::HashSet;").len(), 1);
     }
 
     #[test]

@@ -8,25 +8,16 @@
 //! set plus one heap allocation per row, exactly the layout the refactor
 //! removed from the replay hot path.
 //!
-//! Scope: non-test library code of the four crates whose state is walked
-//! per access — `sdbp-cache`, `sdbp-replacement`, `sdbp-predictors`, and
-//! `sdbp` (core) — plus `sdbp-serve`, whose per-job trace buffers sit on
-//! the same replay hot path. Cold containers elsewhere (reports, CLI,
-//! engine batching) are free to nest.
+//! Applies to all non-test library code, workspace-wide. Cold layers
+//! where nesting is the natural shape (report matrices, CLI batching)
+//! opt out via `[[exempt]]` entries in `analyze.toml` with a written
+//! reason.
 //!
 //! [`MetaPlane`]: ../../../cache/src/meta.rs
 
-use super::{finding_at, in_scope, Finding, Rule};
+use super::{finding_at, Finding, Rule};
 use crate::lexer::TokenKind;
 use crate::source::{FileClass, SourceFile};
-
-const SCOPE: &[&str] = &[
-    "crates/cache/src/",
-    "crates/replacement/src/",
-    "crates/predictors/src/",
-    "crates/core/src/",
-    "crates/serve/src/",
-];
 
 /// See the [module docs](self).
 #[derive(Debug)]
@@ -42,7 +33,7 @@ impl Rule for FlatMetadata {
     }
 
     fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
-        if file.class != FileClass::Library || !in_scope(&file.rel_path, SCOPE) {
+        if file.class != FileClass::Library {
             return;
         }
         let toks = &file.lexed.tokens;
@@ -96,9 +87,9 @@ mod tests {
     }
 
     #[test]
-    fn cold_crates_tests_and_binaries_are_exempt() {
+    fn tests_and_binaries_are_exempt_but_library_code_is_not() {
         let src = "struct R { rows: Vec<Vec<String>> }";
-        assert!(run("crates/engine/src/report.rs", src).is_empty());
+        assert_eq!(run("crates/engine/src/report.rs", src).len(), 1, "workspace-wide default");
         assert!(run("crates/harness/src/bin/sdbp_repro.rs", src).is_empty());
         let test_src = "#[cfg(test)]\nmod tests { struct T { v: Vec<Vec<u8>> } }";
         assert!(run("crates/cache/src/meta.rs", test_src).is_empty());

@@ -13,19 +13,30 @@ mod casts;
 mod det_iter;
 mod docs;
 mod flat_metadata;
+mod mutex_discipline;
 mod panic_paths;
+mod registry_coverage;
+mod result_discipline;
 mod seed;
 mod wallclock;
+mod wire_exhaustive;
 
+use std::path::Path;
+
+use crate::graph::{Graph, Site};
 use crate::source::SourceFile;
 
 pub use casts::LosslessCodecCasts;
 pub use det_iter::DeterministicIteration;
 pub use docs::PubApiDocs;
 pub use flat_metadata::FlatMetadata;
+pub use mutex_discipline::MutexDiscipline;
 pub use panic_paths::NoPanicPaths;
+pub use registry_coverage::RegistryCoverage;
+pub use result_discipline::ResultDiscipline;
 pub use seed::SeedDiscipline;
 pub use wallclock::NoWallclockInSim;
+pub use wire_exhaustive::WireExhaustive;
 
 /// One diagnostic: where, which rule, and why.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -57,7 +68,42 @@ pub trait Rule {
     fn check(&self, file: &SourceFile, out: &mut Vec<Finding>);
 }
 
-/// Every rule, in stable report order.
+/// A cross-file invariant check over the assembled workspace [`Graph`].
+///
+/// Graph rules run after every file's facts are extracted (phase 2 of
+/// the scan), so they can relate declarations in one file to uses in
+/// another — e.g. a wire variant with an encode arm but no decode arm.
+pub trait GraphRule {
+    /// Stable identifier used in reports, the allowlist, and
+    /// `sdbp-allow(...)` escapes.
+    fn id(&self) -> &'static str;
+
+    /// One-line description of the invariant the rule protects.
+    fn summary(&self) -> &'static str;
+
+    /// Scans `graph`, appending findings to `out`.
+    fn check(&self, graph: &Graph, ctx: &GraphContext, out: &mut Vec<Finding>);
+}
+
+/// Ambient workspace information graph rules may consult beyond the
+/// Rust sources (e.g. the golden replay fixture).
+#[derive(Debug)]
+pub struct GraphContext<'a> {
+    /// Workspace root directory.
+    pub root: &'a Path,
+}
+
+/// Rule metadata shared by per-file and graph rules, for reports,
+/// SARIF, and `--list-rules`.
+#[derive(Clone, Copy, Debug)]
+pub struct RuleInfo {
+    /// Stable rule identifier.
+    pub id: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
+/// Every per-file rule, in stable report order.
 pub fn all_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(NoPanicPaths),
@@ -67,18 +113,47 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(SeedDiscipline),
         Box::new(PubApiDocs),
         Box::new(FlatMetadata),
+        Box::new(MutexDiscipline),
     ]
 }
 
-/// The stable id list (for config validation and `--list-rules`).
-pub fn rule_ids() -> Vec<&'static str> {
-    all_rules().iter().map(|r| r.id()).collect()
+/// Every graph rule, in stable report order.
+pub fn graph_rules() -> Vec<Box<dyn GraphRule>> {
+    vec![Box::new(ResultDiscipline), Box::new(WireExhaustive), Box::new(RegistryCoverage)]
 }
 
-/// Whether `path` falls under any of `prefixes` (exact file or directory
-/// prefix).
-pub(crate) fn in_scope(path: &str, prefixes: &[&str]) -> bool {
-    prefixes.iter().any(|p| path == *p || path.starts_with(p))
+/// Metadata for every rule — per-file first, then graph — in stable
+/// report order.
+pub fn all_rule_info() -> Vec<RuleInfo> {
+    all_rules()
+        .iter()
+        .map(|r| RuleInfo { id: r.id(), summary: r.summary() })
+        .chain(graph_rules().iter().map(|r| RuleInfo { id: r.id(), summary: r.summary() }))
+        .collect()
+}
+
+/// The stable id list over both rule kinds (for config validation and
+/// `--list-rules`).
+pub fn rule_ids() -> Vec<&'static str> {
+    all_rule_info().iter().map(|r| r.id).collect()
+}
+
+/// Builds a [`Finding`] anchored at a precomputed fact [`Site`] (graph
+/// rules work from facts and never hold the source text).
+pub(crate) fn finding_at_site(
+    rule: &'static str,
+    path: &str,
+    site: &Site,
+    message: String,
+) -> Finding {
+    Finding {
+        rule,
+        path: path.to_owned(),
+        line: site.line,
+        col: site.col,
+        message,
+        snippet: site.snippet.clone(),
+    }
 }
 
 /// Builds a [`Finding`] anchored at byte offset `byte` of `file`.
@@ -116,12 +191,5 @@ mod tests {
                 "rule id {id} is not kebab-case"
             );
         }
-    }
-
-    #[test]
-    fn scope_matches_files_and_directories() {
-        assert!(in_scope("crates/traceio/src/reader.rs", &["crates/traceio/src/"]));
-        assert!(in_scope("crates/cache/src/recorder.rs", &["crates/cache/src/recorder.rs"]));
-        assert!(!in_scope("crates/cache/src/replay.rs", &["crates/cache/src/recorder.rs"]));
     }
 }

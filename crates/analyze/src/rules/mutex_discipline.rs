@@ -1,0 +1,262 @@
+//! `mutex-discipline`: no lock guard held across a blocking channel or
+//! socket call.
+//!
+//! The serve daemon (PR 6) and the engine pool (PR 1) both mix shared
+//! state behind `Mutex`es with blocking rendezvous points — channel
+//! `recv`, socket `accept`/`connect`, buffered `write_all`/`flush`. A
+//! guard that stays live across such a call serializes every other
+//! thread on I/O latency at best and deadlocks at worst (the classic
+//! shape: worker A blocks on `recv` holding the queue lock, worker B
+//! needs the lock to `send`). The compiler cannot see this; the
+//! statement spans in the file's AST can.
+//!
+//! The rule tracks `let`-bound guards (`let g = m.lock()...;`,
+//! `if/while let Ok(g) = m.lock()`) from their binding statement to the
+//! end of the enclosing block, an explicit `drop(g)`, or a
+//! re-assignment, and flags any blocking call inside that span. Two
+//! deliberate exclusions keep the false-positive rate at zero:
+//! un-bound guards (`m.lock().unwrap().push(x);` dies at the `;`) and
+//! `Condvar::wait`, which *consumes* the guard — holding the lock is
+//! the point of a condvar.
+
+use super::{finding_at, Finding, Rule};
+use crate::lexer::TokenKind;
+use crate::source::{FileClass, SourceFile};
+
+/// Calls that block on a channel, socket, or timer while in flight.
+const BLOCKING: &[&str] = &[
+    "recv",
+    "recv_timeout",
+    "send",
+    "accept",
+    "connect",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "write_all",
+    "flush",
+    "sleep",
+];
+
+/// See the [module docs](self).
+#[derive(Debug)]
+pub struct MutexDiscipline;
+
+impl Rule for MutexDiscipline {
+    fn id(&self) -> &'static str {
+        "mutex-discipline"
+    }
+
+    fn summary(&self) -> &'static str {
+        "lock guard held across a blocking channel/socket call (shrink the critical section)"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if file.class == FileClass::Test {
+            return;
+        }
+        let toks = &file.lexed.tokens;
+        let text = |i: usize| toks.get(i).map_or("", |t| file.text(t));
+        let is_punct = |i: usize, c: &str| {
+            toks.get(i).is_some_and(|t| t.kind == TokenKind::Punct) && text(i) == c
+        };
+        let mut i = 0usize;
+        while i < toks.len() {
+            // A `.lock()` call outside test code…
+            if !(is_punct(i, ".")
+                && text(i + 1) == "lock"
+                && is_punct(i + 2, "(")
+                && is_punct(i + 3, ")")
+                && !file.in_test(toks[i].start))
+            {
+                i += 1;
+                continue;
+            }
+            // …whose chain stops at the guard: `.lock()`, optionally
+            // followed by `.unwrap()` / `.expect(…)`. A longer chain
+            // (`.lock().unwrap().pop_front()`) binds a value extracted
+            // *through* a temporary guard that dies at the `;`.
+            let mut after = i + 4;
+            loop {
+                if is_punct(after, ".") && text(after + 1) == "unwrap" && is_punct(after + 2, "(")
+                {
+                    after += 4;
+                } else if is_punct(after, ".")
+                    && text(after + 1) == "expect"
+                    && is_punct(after + 2, "(")
+                {
+                    let mut depth = 1usize;
+                    let mut k = after + 3;
+                    while k < toks.len() && depth > 0 {
+                        if is_punct(k, "(") {
+                            depth += 1;
+                        } else if is_punct(k, ")") {
+                            depth -= 1;
+                        }
+                        k += 1;
+                    }
+                    after = k;
+                } else {
+                    break;
+                }
+            }
+            if is_punct(after, ".") {
+                i = after;
+                continue;
+            }
+            // …and whose statement binds that guard to a name.
+            let Some(guard) = binding_of(file, i) else {
+                i += 4;
+                continue;
+            };
+            // Find the end of the binding statement: the `;` (plain
+            // `let`) or the `{` opening an `if/while let` body.
+            let mut j = i + 4;
+            while j < toks.len() && !is_punct(j, ";") && !is_punct(j, "{") {
+                j += 1;
+            }
+            let body_scan = is_punct(j, "{");
+            // Scan the guard's live range: to the end of the enclosing
+            // block (or of the `if/while let` body), an explicit
+            // `drop(guard)`, or a shadowing rebind.
+            let mut depth: i32 = i32::from(body_scan);
+            j += 1;
+            while j < toks.len() {
+                if is_punct(j, "{") {
+                    depth += 1;
+                } else if is_punct(j, "}") {
+                    depth -= 1;
+                    if depth < 0 || (body_scan && depth == 0) {
+                        break;
+                    }
+                } else if (text(j) == "drop" && is_punct(j + 1, "(") && text(j + 2) == guard)
+                    || (text(j) == "let" && text(j + 1) == guard.as_str())
+                {
+                    // Explicit drop or a shadowing rebind ends the span.
+                    break;
+                } else if toks[j].kind == TokenKind::Ident
+                    && BLOCKING.contains(&text(j))
+                    && is_punct(j + 1, "(")
+                {
+                    let (lock_line, _) = file.line_col(toks[i].start);
+                    out.push(finding_at(
+                        self.id(),
+                        file,
+                        toks[j].start,
+                        format!(
+                            "blocking call `{}` while lock guard `{guard}` (taken on line \
+                             {lock_line}) is still live — drop the guard or move the call \
+                             out of the critical section",
+                            text(j)
+                        ),
+                    ));
+                }
+                j += 1;
+            }
+            i += 4;
+        }
+    }
+}
+
+/// If the statement containing the `.lock()` at token index `dot` binds
+/// a named guard, returns the guard name.
+///
+/// Recognized shapes (with optional leading `if`/`while` and `mut`):
+/// `let g = …`, `let Ok(g) = …`, `let Some(g) = …`. A discard binding
+/// (`let _ = …`) or an un-bound expression statement returns `None`.
+fn binding_of(file: &SourceFile, dot: usize) -> Option<String> {
+    let toks = &file.lexed.tokens;
+    let text = |i: usize| toks.get(i).map_or("", |t| file.text(t));
+    let is_punct = |i: usize, c: &str| {
+        toks.get(i).is_some_and(|t| t.kind == TokenKind::Punct) && text(i) == c
+    };
+    // Scan back to the statement start.
+    let mut s = dot;
+    while s > 0 {
+        let prev = s - 1;
+        if toks[prev].kind == TokenKind::Punct && matches!(text(prev), ";" | "{" | "}") {
+            break;
+        }
+        s = prev;
+    }
+    if matches!(text(s), "if" | "while") {
+        s += 1;
+    }
+    if text(s) != "let" {
+        return None;
+    }
+    s += 1;
+    if matches!(text(s), "Ok" | "Some") && is_punct(s + 1, "(") {
+        s += 2;
+    }
+    if text(s) == "mut" {
+        s += 1;
+    }
+    let tok = toks.get(s)?;
+    if tok.kind != TokenKind::Ident || text(s) == "_" {
+        return None;
+    }
+    Some(text(s).to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let f = SourceFile::from_source("crates/serve/src/server.rs", src.to_owned());
+        let mut out = Vec::new();
+        MutexDiscipline.check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn guard_held_across_recv_is_flagged_with_accurate_span() {
+        let src = "fn f() {\n    let g = q.lock().expect(\"poisoned\");\n    let job = rx.recv();\n    g.push(job);\n}\n";
+        let found = run(src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!((found[0].line, found[0].col), (3, 18));
+        assert!(found[0].message.contains("`g`"), "{}", found[0].message);
+        assert!(found[0].message.contains("line 2"), "{}", found[0].message);
+    }
+
+    #[test]
+    fn dropping_the_guard_first_is_clean() {
+        let src = "fn f() {\n    let g = q.lock().expect(\"poisoned\");\n    let j = g.pop();\n    drop(g);\n    let job = rx.recv();\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn unbound_guard_dies_at_the_statement() {
+        let src = "fn f() { q.lock().expect(\"poisoned\").push(x); let job = rx.recv(); }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn chained_extraction_binds_the_value_not_the_guard() {
+        // The engine pool's idiom: the guard is a temporary, `next` is
+        // the popped value, and the later `send` is lock-free.
+        let src = "fn f() {\n    let next = q.lock().expect(\"poisoned\").pop_front();\n    tx.send(next);\n}\n";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn inner_block_scopes_the_guard() {
+        let src = "fn f() {\n    { let g = q.lock().expect(\"p\"); g.push(x); }\n    let job = rx.recv();\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn if_let_guard_is_tracked_within_its_body_only() {
+        let src = "fn f() {\n    if let Ok(g) = q.lock() {\n        sock.write_all(&g.bytes());\n    }\n    let job = rx.recv();\n}\n";
+        let found = run(src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].line, 3);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let g = q.lock().expect(\"p\"); rx.recv(); }\n}\n";
+        assert!(run(src).is_empty());
+    }
+}

@@ -1,34 +1,22 @@
 //! `no-panic-paths`: the streaming and aggregation layers must report
 //! failures as typed errors, never panic.
 //!
-//! Scope: non-test library code of `sdbp-traceio` (a corrupt archive must
-//! surface as a [`TraceIoError`], the property PR 2's corruption suite
-//! depends on), `sdbp-engine` (a panicking worker must be *isolated*, not
-//! joined by a panicking aggregator), `cache::recorder` (the fallible
-//! recording path feeding both), `cache::replay` (the measurement
-//! plane: misaligned hit maps are a typed `SplitHitsError`, not an
-//! assert), `sdbp-serve` (a daemon that panics on a malformed frame
-//! is a remote denial of service; every wire defect must be a typed
-//! `FrameError`), and `sdbp-sample` (a corrupt `.sdbs` plan must surface
-//! as a typed `PlanError`, and a plan/stream mismatch as a
-//! `SampleError` — never a panic mid-campaign).
+//! Applies to all non-test library code, workspace-wide: a corrupt
+//! archive must surface as a `TraceIoError`, a panicking worker must be
+//! isolated rather than joined by a panicking aggregator, a daemon that
+//! panics on a malformed frame is a remote denial of service. Crates
+//! whose invariants genuinely call for aborts (the hot simulation data
+//! plane, where a violated geometry invariant means the simulator
+//! itself is wrong) opt out via `[[exempt]]` entries in `analyze.toml`,
+//! each with a written reason.
 //!
 //! Flags `.unwrap()`, `.expect(...)`, `panic!`, `todo!`, `unimplemented!`,
 //! and `[]`-indexing expressions (which can panic on out-of-bounds; use
 //! `.get()`, pattern matching, or fixed-size reads instead).
 
-use super::{finding_at, in_scope, Finding, Rule};
+use super::{finding_at, Finding, Rule};
 use crate::source::{FileClass, SourceFile};
 use crate::lexer::TokenKind;
-
-const SCOPE: &[&str] = &[
-    "crates/traceio/src/",
-    "crates/engine/src/",
-    "crates/cache/src/recorder.rs",
-    "crates/cache/src/replay.rs",
-    "crates/serve/src/",
-    "crates/sample/src/",
-];
 
 /// See the [module docs](self).
 #[derive(Debug)]
@@ -44,7 +32,7 @@ impl Rule for NoPanicPaths {
     }
 
     fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
-        if file.class != FileClass::Library || !in_scope(&file.rel_path, SCOPE) {
+        if file.class != FileClass::Library {
             return;
         }
         let toks = &file.lexed.tokens;
@@ -157,9 +145,9 @@ mod tests {
     }
 
     #[test]
-    fn out_of_scope_and_test_code_are_ignored() {
+    fn all_library_code_is_in_scope_but_test_code_is_not() {
         let src = "fn f() { a.unwrap(); }";
-        assert!(run("crates/harness/src/runner.rs", src).is_empty());
+        assert_eq!(run("crates/harness/src/runner.rs", src).len(), 1, "workspace-wide default");
         let test_src = "#[cfg(test)]\nmod tests { fn t() { a.unwrap(); } }";
         assert!(run("crates/traceio/src/reader.rs", test_src).is_empty());
     }

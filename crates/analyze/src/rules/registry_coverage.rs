@@ -1,0 +1,189 @@
+//! `registry-coverage`: every registered policy is gated by the golden
+//! fixture and the sampling smoke harness.
+//!
+//! The repository's headline claim is per-policy: each of the specs
+//! registered in `Registry::base()` / `sdbp::registry::standard()` has
+//! a golden miss count (`tests/golden/replay_miss_counts.tsv`, replayed
+//! bit-identically by `tests/golden_replay.rs`) and a sampled-replay
+//! error bound (`sample_smoke`). Registering a policy without wiring it
+//! into those gates silently shrinks the claim: PR 4 added `aip` and
+//! `sampler-srrip`, and only a hand-audit confirmed both gates grew
+//! with the registry. This rule makes that audit structural.
+//!
+//! Phase 1 records every `name: "…"` registration in the two
+//! `registry.rs` files and every string literal in `sample_smoke`;
+//! phase 2 checks each registered name against (a) the specs column of
+//! the golden TSV — a spec matches as the exact name or as
+//! `name:params` — and (b) `sample_smoke`'s policy list, satisfied
+//! structurally when the smoke binary iterates `registry.entries()`
+//! (full coverage by construction). Findings anchor at the
+//! registration site, so the fix is one hop from the diagnostic.
+
+use super::{finding_at_site, Finding, GraphContext, GraphRule};
+use crate::graph::Graph;
+
+/// The golden fixture, relative to the workspace root. When absent
+/// (synthetic test workspaces), the golden leg is skipped — the fixture
+/// itself is guaranteed by tier-1, not by this rule.
+const GOLDEN_TSV: &str = "tests/golden/replay_miss_counts.tsv";
+
+/// The sampling smoke gate.
+const SMOKE: &str = "crates/harness/src/bin/sample_smoke.rs";
+
+/// See the [module docs](self).
+#[derive(Debug)]
+pub struct RegistryCoverage;
+
+impl GraphRule for RegistryCoverage {
+    fn id(&self) -> &'static str {
+        "registry-coverage"
+    }
+
+    fn summary(&self) -> &'static str {
+        "registered policy missing from the golden fixture or sample_smoke gate"
+    }
+
+    fn check(&self, graph: &Graph, ctx: &GraphContext, out: &mut Vec<Finding>) {
+        let golden_specs: Option<Vec<String>> =
+            std::fs::read_to_string(ctx.root.join(GOLDEN_TSV)).ok().map(|text| {
+                text.lines()
+                    .filter(|l| !l.trim_start().starts_with('#') && !l.trim().is_empty())
+                    .filter_map(|l| l.split('\t').nth(4).map(str::to_owned))
+                    .collect()
+            });
+        let smoke = graph.file(SMOKE);
+        for file in &graph.files {
+            if !file.path.ends_with("/registry.rs") || !file.path.starts_with("crates/") {
+                continue;
+            }
+            for p in &file.facts.policy_names {
+                if let Some(specs) = &golden_specs {
+                    let covered = specs
+                        .iter()
+                        .any(|s| s == &p.name || s.starts_with(&format!("{}:", p.name)));
+                    if !covered {
+                        out.push(finding_at_site(
+                            self.id(),
+                            &file.path,
+                            &p.site,
+                            format!(
+                                "policy `{}` is registered but has no row in {GOLDEN_TSV} — \
+                                 regenerate the fixture (examples/golden_gen.rs) so the \
+                                 golden gate covers it",
+                                p.name
+                            ),
+                        ));
+                    }
+                }
+                if let Some(smoke) = smoke {
+                    let covered = smoke.facts.iterates_registry
+                        || smoke.facts.str_lits.contains(&p.name);
+                    if !covered {
+                        out.push(finding_at_site(
+                            self.id(),
+                            &file.path,
+                            &p.site,
+                            format!(
+                                "policy `{}` is registered but absent from sample_smoke's \
+                                 policy list — the sampled-replay error bound does not \
+                                 cover it",
+                                p.name
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{extract, GraphFile};
+    use crate::source::SourceFile;
+    use std::path::Path;
+
+    fn scan(root: &Path, files: &[(&str, &str)]) -> Vec<Finding> {
+        let graph = Graph::build(
+            files
+                .iter()
+                .map(|(p, s)| GraphFile {
+                    path: (*p).to_owned(),
+                    facts: extract(&SourceFile::from_source(p, (*s).to_owned())),
+                })
+                .collect(),
+        );
+        let mut out = Vec::new();
+        RegistryCoverage.check(&graph, &GraphContext { root }, &mut out);
+        out
+    }
+
+    fn with_golden(specs: &[&str], files: &[(&str, &str)]) -> Vec<Finding> {
+        let tmp = std::env::temp_dir()
+            .join(format!("sdbp-analyze-regcov-{}-{:p}", std::process::id(), &specs));
+        std::fs::create_dir_all(tmp.join("tests/golden")).expect("mkdir");
+        let mut tsv = String::from("# header\n");
+        for s in specs {
+            tsv.push_str(&format!("wl\t1000\t256\t16\t{s}\t42\n"));
+        }
+        std::fs::write(tmp.join(GOLDEN_TSV), tsv).expect("write tsv");
+        let found = scan(&tmp, files);
+        std::fs::remove_dir_all(&tmp).expect("cleanup");
+        found
+    }
+
+    const REGISTRY: &str = "pub fn standard() -> Registry {\n    let mut r = Registry::base();\n    r.register(PolicyEntry { name: \"tdbp\", label: \"TDBP\" });\n    r\n}\n";
+    const SMOKE_ITER: &str = "fn main() { for e in registry.entries() { run(e); } }\n";
+
+    #[test]
+    fn entries_iteration_plus_golden_row_is_clean() {
+        let found = with_golden(
+            &["tdbp"],
+            &[("crates/core/src/registry.rs", REGISTRY), (SMOKE, SMOKE_ITER)],
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn parameterized_golden_specs_cover_the_base_name() {
+        let found = with_golden(
+            &["tdbp:tables=1"],
+            &[("crates/core/src/registry.rs", REGISTRY), (SMOKE, SMOKE_ITER)],
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn missing_golden_row_is_one_finding_at_the_registration() {
+        let found = with_golden(
+            &["lru"],
+            &[("crates/core/src/registry.rs", REGISTRY), (SMOKE, SMOKE_ITER)],
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("no row in"), "{}", found[0].message);
+        assert_eq!(found[0].line, 3, "anchored at the `name:` literal");
+        assert!(found[0].snippet.contains("tdbp"), "{}", found[0].snippet);
+    }
+
+    #[test]
+    fn smoke_with_explicit_list_must_name_every_policy() {
+        let smoke_explicit = "fn main() { for p in [\"lru\"] { run(p); } }\n";
+        let found = with_golden(
+            &["tdbp"],
+            &[("crates/core/src/registry.rs", REGISTRY), (SMOKE, smoke_explicit)],
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("sample_smoke"), "{}", found[0].message);
+    }
+
+    #[test]
+    fn absent_fixture_and_smoke_skip_their_legs() {
+        let tmp = std::env::temp_dir()
+            .join(format!("sdbp-analyze-regcov-none-{}", std::process::id()));
+        std::fs::create_dir_all(&tmp).expect("mkdir");
+        let found = scan(&tmp, &[("crates/core/src/registry.rs", REGISTRY)]);
+        std::fs::remove_dir_all(&tmp).expect("cleanup");
+        assert!(found.is_empty(), "{found:?}");
+    }
+}

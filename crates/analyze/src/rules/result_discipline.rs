@@ -1,0 +1,181 @@
+//! `result-discipline`: no silently discarded `Result` in non-test code.
+//!
+//! The serve path earns its "wire replies identical to in-process
+//! replay" claim only if every I/O error is either handled or
+//! propagated: a `let _ = frame.write_to(&mut sock);` that swallows a
+//! short write leaves the peer waiting on a frame that never arrives,
+//! and nothing in the type system complains. The same applies to the
+//! harness's report writers — a swallowed `write_all` error turns a
+//! full disk into a silently truncated results table.
+//!
+//! Lexical per-file scanning cannot know that `write_to` returns
+//! `Result`; the workspace graph can. Phase 1 records every
+//! `let _ = …;` discard with its top-level callees and every
+//! statement-terminal `.ok();` drop; phase 2 joins those against the
+//! set of workspace functions whose return type mentions `Result`,
+//! plus a fixed list of std I/O / channel methods. Discards of
+//! infallible calls stay silent.
+//!
+//! Intentional best-effort sends (e.g. an error reply on a connection
+//! that is already dying) are justified in-line:
+//! `// sdbp-allow(result-discipline): best-effort reply, socket may be gone`.
+
+use super::{finding_at_site, Finding, GraphContext, GraphRule};
+use crate::graph::Graph;
+
+/// std methods returning `Result` that matter on these paths: socket,
+/// file, formatting, and channel operations. (`join` is a thread join
+/// in discard position; `Path::join` is never discarded.)
+const BUILTIN_RESULT_FNS: &[&str] = &[
+    "send",
+    "recv",
+    "recv_timeout",
+    "write",
+    "write_all",
+    "write_fmt",
+    "flush",
+    "read",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "set_read_timeout",
+    "set_write_timeout",
+    "set_nonblocking",
+    "shutdown",
+    "join",
+    "create_dir_all",
+    "remove_file",
+    "remove_dir_all",
+    "rename",
+    "sync_all",
+    "set_len",
+    "write!",
+    "writeln!",
+];
+
+/// See the [module docs](self).
+#[derive(Debug)]
+pub struct ResultDiscipline;
+
+impl GraphRule for ResultDiscipline {
+    fn id(&self) -> &'static str {
+        "result-discipline"
+    }
+
+    fn summary(&self) -> &'static str {
+        "discarded Result (`let _ =` / terminal `.ok()`) in non-test code"
+    }
+
+    fn check(&self, graph: &Graph, _ctx: &GraphContext, out: &mut Vec<Finding>) {
+        for file in &graph.files {
+            for d in &file.facts.discards {
+                let culprit = if d.ends_in_ok {
+                    Some("a `.ok()`-converted `Result`".to_owned())
+                } else {
+                    d.callees
+                        .iter()
+                        .find(|c| {
+                            BUILTIN_RESULT_FNS.contains(&c.as_str())
+                                || graph.result_fns.contains(c.as_str())
+                        })
+                        .map(|c| format!("the `Result` of `{c}`"))
+                };
+                if let Some(what) = culprit {
+                    out.push(finding_at_site(
+                        self.id(),
+                        &file.path,
+                        &d.site,
+                        format!(
+                            "`let _ =` discards {what}; handle the error, propagate with \
+                             `?`, or justify with `// sdbp-allow(result-discipline): …`"
+                        ),
+                    ));
+                }
+            }
+            for s in &file.facts.ok_drops {
+                out.push(finding_at_site(
+                    self.id(),
+                    &file.path,
+                    s,
+                    "statement-terminal `.ok();` silently drops a `Result`; handle the \
+                     error, propagate with `?`, or justify with \
+                     `// sdbp-allow(result-discipline): …`"
+                        .to_owned(),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{extract, GraphFile};
+    use crate::source::SourceFile;
+    use std::path::Path;
+
+    fn scan(files: &[(&str, &str)]) -> Vec<Finding> {
+        let graph = Graph::build(
+            files
+                .iter()
+                .map(|(p, s)| GraphFile {
+                    path: (*p).to_owned(),
+                    facts: extract(&SourceFile::from_source(p, (*s).to_owned())),
+                })
+                .collect(),
+        );
+        let mut out = Vec::new();
+        ResultDiscipline.check(&graph, &GraphContext { root: Path::new(".") }, &mut out);
+        out
+    }
+
+    #[test]
+    fn discarding_a_builtin_result_is_flagged() {
+        let found = scan(&[(
+            "crates/serve/src/session.rs",
+            "fn f(s: &mut TcpStream) { let _ = s.write_all(b\"x\"); }\n",
+        )]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("write_all"), "{}", found[0].message);
+    }
+
+    #[test]
+    fn discarding_a_workspace_result_fn_is_flagged_cross_file() {
+        let found = scan(&[
+            (
+                "crates/serve/src/protocol.rs",
+                "pub fn write_frame() -> Result<(), FrameError> { Ok(()) }\n",
+            ),
+            ("crates/serve/src/session.rs", "fn f() { let _ = write_frame(); }\n"),
+        ]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].path, "crates/serve/src/session.rs");
+    }
+
+    #[test]
+    fn infallible_discards_and_bound_ok_are_clean() {
+        let found = scan(&[(
+            "crates/serve/src/session.rs",
+            "fn id(x: u32) -> u32 { x }\n\
+             fn f() { let _ = id(3); let parsed = text.parse::<u32>().ok(); }\n",
+        )]);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn terminal_ok_drop_is_flagged() {
+        let found =
+            scan(&[("crates/harness/src/runner.rs", "fn f() { sock.shutdown(Both).ok(); }\n")]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains(".ok()"), "{}", found[0].message);
+    }
+
+    #[test]
+    fn test_code_discards_are_invisible() {
+        let found = scan(&[(
+            "crates/serve/tests/wire.rs",
+            "fn f(s: &mut TcpStream) { let _ = s.write_all(b\"x\"); }\n",
+        )]);
+        assert!(found.is_empty(), "{found:?}");
+    }
+}

@@ -2,6 +2,7 @@
 //! test-code regions rules must skip.
 
 use crate::lexer::{lex, Lexed, LineIndex, Token, TokenKind};
+use crate::parser::{parse, Ast};
 
 /// What kind of code a file holds, which decides which rules apply.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -26,6 +27,8 @@ pub struct SourceFile {
     pub src: String,
     /// Token and comment streams.
     pub lexed: Lexed,
+    /// Item-level parse of the file (functions, enums, impls, mods).
+    pub ast: Ast,
     line_index: LineIndex,
     /// Byte ranges of `#[cfg(test)]` modules and `#[test]` functions.
     test_ranges: Vec<(usize, usize)>,
@@ -53,6 +56,7 @@ impl SourceFile {
     /// point; [`crate::workspace`] uses it after reading from disk).
     pub fn from_source(rel_path: &str, src: String) -> Self {
         let lexed = lex(&src);
+        let ast = parse(&src, &lexed.tokens);
         let line_index = LineIndex::new(&src);
         let test_ranges = find_test_ranges(&src, &lexed);
         SourceFile {
@@ -60,6 +64,7 @@ impl SourceFile {
             class: classify(rel_path),
             src,
             lexed,
+            ast,
             line_index,
             test_ranges,
         }
@@ -225,5 +230,59 @@ mod tests {
             .map(|t| t.start)
             .expect("unwrap token");
         assert!(f.in_test(unwrap));
+    }
+
+    #[test]
+    fn code_after_a_test_module_is_live_again() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { if x { a.unwrap(); } }\n}\n\
+                   fn live() { b.unwrap(); }\n";
+        let f = SourceFile::from_source("crates/x/src/lib.rs", src.to_owned());
+        let unwraps: Vec<usize> = f
+            .lexed
+            .tokens
+            .iter()
+            .filter(|t| f.text(t) == "unwrap")
+            .map(|t| t.start)
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(f.in_test(unwraps[0]), "nested braces stay inside the masked range");
+        assert!(!f.in_test(unwraps[1]), "the mask ends at the module's closing brace");
+    }
+
+    #[test]
+    fn bodyless_test_mod_declaration_masks_nothing() {
+        let src = "#[cfg(test)]\nmod tests;\nfn live() { a.unwrap(); }\n";
+        let f = SourceFile::from_source("crates/x/src/lib.rs", src.to_owned());
+        let unwrap = f
+            .lexed
+            .tokens
+            .iter()
+            .find(|t| f.text(t) == "unwrap")
+            .map(|t| t.start)
+            .expect("unwrap token");
+        assert!(!f.in_test(unwrap), "`mod tests;` must not mask the rest of the file");
+    }
+
+    #[test]
+    fn every_byte_of_a_tests_dir_file_is_test_code() {
+        let f =
+            SourceFile::from_source("crates/x/tests/t.rs", "fn t() { a.unwrap(); }".to_owned());
+        assert!(f.in_test(0));
+        assert!(f.in_test(f.src.len().saturating_sub(1)));
+    }
+
+    #[test]
+    fn cfg_test_in_a_comment_or_string_masks_nothing() {
+        let src = "// #[cfg(test)] mod tests { }\n\
+                   fn live() { let s = \"#[cfg(test)]\"; a.unwrap(); }\n";
+        let f = SourceFile::from_source("crates/x/src/lib.rs", src.to_owned());
+        let unwrap = f
+            .lexed
+            .tokens
+            .iter()
+            .find(|t| f.text(t) == "unwrap")
+            .map(|t| t.start)
+            .expect("unwrap token");
+        assert!(!f.in_test(unwrap));
     }
 }

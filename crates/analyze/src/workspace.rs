@@ -1,18 +1,35 @@
-//! Workspace discovery and the scan driver.
+//! Workspace discovery and the two-phase scan driver.
 //!
-//! Walks every `.rs` file under the workspace root in sorted order
-//! (skipping `target/`, `.git/`, and the linter's own `tests/fixtures`
-//! corpus of intentionally-bad snippets), runs every rule over every
-//! file, then filters the raw findings through the two escape hatches:
-//! `analyze.toml` allowlist entries and per-line
+//! **Phase 1 (per file, parallel, cached):** every `.rs` file under the
+//! root is lexed, parsed, run through the per-file rules, and reduced
+//! to [`crate::graph::FileFacts`]. The phase fans out over the
+//! `sdbp-engine` pool; results are aggregated in submission order, so
+//! `--jobs 8` output is byte-identical to `--serial`. Each file's
+//! result is a pure function of its bytes and is reused from
+//! `target/analyze-cache.json` when the content hash matches.
+//!
+//! **Phase 2 (cross-file, serial, always fresh):** the facts are joined
+//! into a [`Graph`] and the graph rules run over it — these are the
+//! contract checks (wire exhaustiveness, registry coverage, Result
+//! discipline) that no single file can decide.
+//!
+//! Raw findings from both phases then pass through three routing gates,
+//! each demanding a written justification: `analyze.toml` `[[exempt]]`
+//! entries (rule opt-outs — rules apply workspace-wide by default),
+//! `[[allow]]` entries (audited suppressions), and per-line
 //! `// sdbp-allow(rule): reason` escapes. Escapes without a reason text
 //! are ignored — an unexplained suppression is no suppression.
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
+use sdbp_engine::{Engine, Job};
+
+use crate::cache::{fnv64, Cache, CacheEntry};
 use crate::config::Config;
+use crate::graph::{extract, EscapeFact, FileFacts, Graph, GraphFile};
 use crate::report::{sort_findings, Allowed, Report};
-use crate::rules::{Finding, Rule};
+use crate::rules::{all_rules, graph_rules, Finding, GraphContext};
 use crate::source::SourceFile;
 
 /// Directory names never descended into.
@@ -21,6 +38,32 @@ const SKIP_DIRS: &[&str] = &["target", ".git", "node_modules"];
 /// Path prefixes excluded from the scan: the fixture corpus is
 /// *deliberately* full of violations.
 const SKIP_PREFIXES: &[&str] = &["crates/analyze/tests/fixtures/"];
+
+/// The phase-1 result for one file: per-file rule findings plus the
+/// facts the graph rules consume. This is the unit the incremental
+/// cache stores.
+#[derive(Clone, Debug)]
+pub struct FileAnalysis {
+    /// Raw (unrouted) per-file findings.
+    pub findings: Vec<Finding>,
+    /// Extracted facts.
+    pub facts: FileFacts,
+}
+
+/// Scan configuration beyond the rule set.
+#[derive(Debug)]
+pub struct ScanOptions {
+    /// Phase-1 worker threads; `1` is the serial reference path.
+    pub jobs: usize,
+    /// Incremental cache location; `None` disables the cache.
+    pub cache_path: Option<PathBuf>,
+}
+
+impl Default for ScanOptions {
+    fn default() -> Self {
+        ScanOptions { jobs: 1, cache_path: None }
+    }
+}
 
 /// Finds the workspace root at or above `start`: the nearest ancestor
 /// holding a `Cargo.toml` with a `[workspace]` section.
@@ -89,31 +132,105 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
-/// Scans the workspace at `root` with `rules` under `config`, returning
-/// the filtered, deterministically-ordered report.
+/// Runs phase 1 for one file already read into `src`.
+#[must_use]
+pub fn analyze_file(rel_path: &str, src: String) -> FileAnalysis {
+    let file = SourceFile::from_source(rel_path, src);
+    let mut findings = Vec::new();
+    for rule in all_rules() {
+        rule.check(&file, &mut findings);
+    }
+    FileAnalysis { findings, facts: extract(&file) }
+}
+
+/// Scans the workspace at `root` under `config`, returning the filtered,
+/// deterministically-ordered report.
 ///
 /// # Errors
 ///
 /// File reads fail; individual findings never error.
 pub fn analyze_workspace(
     root: &Path,
-    rules: &[Box<dyn Rule>],
     config: &Config,
+    opts: &ScanOptions,
 ) -> Result<Report, String> {
     let files = collect_rust_files(root)?;
-    let mut report = Report { files_scanned: files.len(), ..Report::default() };
-    for rel in &files {
-        let abs = root.join(rel);
-        let src = std::fs::read_to_string(&abs)
-            .map_err(|e| format!("cannot read {}: {e}", abs.display()))?;
-        let file = SourceFile::from_source(rel, src);
-        let mut raw = Vec::new();
-        for rule in rules {
-            rule.check(&file, &mut raw);
+    let cache = match &opts.cache_path {
+        Some(p) => Cache::load(p),
+        None => Cache::default(),
+    };
+
+    // Phase 1: per-file analysis over the engine pool. Job results come
+    // back in submission order, which keeps every downstream consumer —
+    // cache serialization, graph assembly, finding order — independent
+    // of the worker count.
+    type FileOutcome = Result<(u64, FileAnalysis, bool), String>;
+    let engine = Engine::with_workers(opts.jobs.max(1));
+    let jobs: Vec<Job<'_, FileOutcome>> = files
+        .iter()
+        .map(|rel| {
+            let rel = rel.clone();
+            let cache = &cache;
+            let abs = root.join(&rel);
+            Job::new(rel.clone(), move || {
+                let bytes = std::fs::read(&abs)
+                    .map_err(|e| format!("cannot read {}: {e}", abs.display()))?;
+                let hash = fnv64(&bytes);
+                if let Some(entry) = cache.entries.get(&rel) {
+                    if entry.hash == hash {
+                        return Ok((hash, entry.analysis.clone(), true));
+                    }
+                }
+                let src = String::from_utf8(bytes)
+                    .map_err(|e| format!("{}: not UTF-8: {e}", abs.display()))?;
+                Ok((hash, analyze_file(&rel, src), false))
+            })
+        })
+        .collect();
+    let outcomes = engine.run_batch("analyze", jobs).expect_all();
+
+    let mut analyses: Vec<(String, u64, FileAnalysis)> = Vec::with_capacity(files.len());
+    let mut cache_hits = 0usize;
+    for (rel, outcome) in files.iter().zip(outcomes) {
+        let (hash, analysis, hit) = outcome?;
+        cache_hits += usize::from(hit);
+        analyses.push((rel.clone(), hash, analysis));
+    }
+    drop(cache);
+
+    if let Some(p) = &opts.cache_path {
+        let mut next = Cache::default();
+        for (rel, hash, analysis) in &analyses {
+            next.entries.insert(
+                rel.clone(),
+                CacheEntry { hash: *hash, analysis: analysis.clone() },
+            );
         }
-        for finding in raw {
-            route_finding(&file, config, finding, &mut report);
+        if let Err(e) = next.save(p) {
+            eprintln!("sdbp-analyze: warning: {e} (continuing without cache)");
         }
+    }
+
+    // Phase 2: graph assembly and cross-file rules.
+    let mut escapes_by_path: BTreeMap<String, Vec<EscapeFact>> = BTreeMap::new();
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut graph_files = Vec::with_capacity(analyses.len());
+    for (rel, _, analysis) in analyses {
+        escapes_by_path.insert(rel.clone(), analysis.facts.escapes.clone());
+        raw.extend(analysis.findings);
+        graph_files.push(GraphFile { path: rel, facts: analysis.facts });
+    }
+    let graph = Graph::build(graph_files);
+    let ctx = GraphContext { root };
+    for rule in graph_rules() {
+        rule.check(&graph, &ctx, &mut raw);
+    }
+
+    // Routing.
+    let mut report =
+        Report { files_scanned: files.len(), cache_hits, ..Report::default() };
+    for finding in raw {
+        route_finding(&escapes_by_path, config, finding, &mut report);
     }
     sort_findings(&mut report.findings);
     report.allowed.sort_by(|a, b| {
@@ -123,8 +240,18 @@ pub fn analyze_workspace(
     Ok(report)
 }
 
-/// Sends `finding` to the failing or the allowed bucket.
-fn route_finding(file: &SourceFile, config: &Config, finding: Finding, report: &mut Report) {
+/// Sends `finding` through the routing gates: exempt (dropped, counted),
+/// allowlist, line escape, or the failing bucket.
+fn route_finding(
+    escapes_by_path: &BTreeMap<String, Vec<EscapeFact>>,
+    config: &Config,
+    finding: Finding,
+    report: &mut Report,
+) {
+    if config.exempts(finding.rule, &finding.path).is_some() {
+        report.exempted += 1;
+        return;
+    }
     if let Some(entry) = config.allows(finding.rule, &finding.path) {
         report.allowed.push(Allowed {
             finding,
@@ -133,50 +260,29 @@ fn route_finding(file: &SourceFile, config: &Config, finding: Finding, report: &
         });
         return;
     }
-    if let Some(reason) = line_escape_reason(file, &finding) {
+    let escapes = escapes_by_path.get(&finding.path).map_or(&[][..], Vec::as_slice);
+    if let Some(reason) = line_escape_reason(escapes, &finding) {
         report.allowed.push(Allowed { finding, source: "line-escape", reason });
         return;
     }
     report.findings.push(finding);
 }
 
-/// Looks for `sdbp-allow(<rule>): <reason>` in a comment on the
-/// finding's line or the line directly above. Returns the reason text;
-/// an escape with an empty reason does not count.
-fn line_escape_reason(file: &SourceFile, finding: &Finding) -> Option<String> {
-    for line in [finding.line, finding.line.saturating_sub(1)] {
-        if line == 0 {
-            continue;
-        }
-        let text = file.line_text(line);
-        let Some(pos) = text.find("sdbp-allow(") else { continue };
-        // Only honor the marker inside a comment, not in string data.
-        if !text[..pos].contains("//") {
-            continue;
-        }
-        let rest = &text[pos + "sdbp-allow(".len()..];
-        let Some(close) = rest.find(')') else { continue };
-        if rest[..close].trim() != finding.rule {
-            continue;
-        }
-        let after = rest[close + 1..].trim_start();
-        let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
-        if reason.is_empty() {
-            continue;
-        }
-        return Some(reason.to_owned());
-    }
-    None
+/// Looks for an `sdbp-allow(<rule>): <reason>` escape on the finding's
+/// line or the line directly above (reasonless escapes were already
+/// dropped at fact extraction).
+fn line_escape_reason(escapes: &[EscapeFact], finding: &Finding) -> Option<String> {
+    escapes
+        .iter()
+        .find(|e| {
+            e.rule == finding.rule && (e.line == finding.line || e.line + 1 == finding.line)
+        })
+        .map(|e| e.reason.clone())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rules::all_rules;
-
-    fn file(path: &str, src: &str) -> SourceFile {
-        SourceFile::from_source(path, src.to_owned())
-    }
 
     fn finding(path: &str, line: u32, rule: &'static str) -> Finding {
         Finding {
@@ -189,47 +295,78 @@ mod tests {
         }
     }
 
+    fn escapes_of(path: &str, src: &str) -> BTreeMap<String, Vec<EscapeFact>> {
+        let analysis = analyze_file(path, src.to_owned());
+        let mut map = BTreeMap::new();
+        map.insert(path.to_owned(), analysis.facts.escapes);
+        map
+    }
+
     #[test]
     fn line_escape_same_line_and_line_above() {
         let src = "let a = x.unwrap(); // sdbp-allow(no-panic-paths): checked above\n\
                    // sdbp-allow(no-panic-paths): slice length proven\n\
                    let b = y[0];\n\
                    let c = z.unwrap();\n";
-        let f = file("crates/engine/src/lib.rs", src);
-        assert!(line_escape_reason(&f, &finding(&f.rel_path, 1, "no-panic-paths")).is_some());
-        assert!(line_escape_reason(&f, &finding(&f.rel_path, 3, "no-panic-paths")).is_some());
-        assert!(line_escape_reason(&f, &finding(&f.rel_path, 4, "no-panic-paths")).is_none());
+        let path = "crates/engine/src/lib.rs";
+        let map = escapes_of(path, src);
+        let escapes = map.get(path).expect("escapes recorded");
+        assert!(line_escape_reason(escapes, &finding(path, 1, "no-panic-paths")).is_some());
+        assert!(line_escape_reason(escapes, &finding(path, 3, "no-panic-paths")).is_some());
+        assert!(line_escape_reason(escapes, &finding(path, 4, "no-panic-paths")).is_none());
     }
 
     #[test]
     fn escape_must_name_the_rule_and_carry_a_reason() {
         let src = "let a = x.unwrap(); // sdbp-allow(seed-discipline): wrong rule\n\
                    let b = y.unwrap(); // sdbp-allow(no-panic-paths)\n";
-        let f = file("crates/engine/src/lib.rs", src);
-        assert!(line_escape_reason(&f, &finding(&f.rel_path, 1, "no-panic-paths")).is_none());
+        let path = "crates/engine/src/lib.rs";
+        let map = escapes_of(path, src);
+        let escapes = map.get(path).expect("escapes recorded");
+        assert!(line_escape_reason(escapes, &finding(path, 1, "no-panic-paths")).is_none());
         assert!(
-            line_escape_reason(&f, &finding(&f.rel_path, 2, "no-panic-paths")).is_none(),
+            line_escape_reason(escapes, &finding(path, 2, "no-panic-paths")).is_none(),
             "reasonless escape must not suppress"
         );
     }
 
     #[test]
-    fn route_prefers_config_then_escape_then_fails() {
+    fn route_prefers_exempt_then_config_then_escape_then_fails() {
         let cfg = Config::parse(
-            "[[allow]]\nrule = \"no-panic-paths\"\npath = \"crates/engine/src/\"\n\
+            "[[exempt]]\nrule = \"no-panic-paths\"\npath = \"crates/bench/\"\n\
+             reason = \"not a sim path\"\n\
+             [[allow]]\nrule = \"no-panic-paths\"\npath = \"crates/engine/src/\"\n\
              reason = \"poisoning\"\n",
             &crate::rules::rule_ids(),
         )
         .expect("valid config");
-        let f = file("crates/engine/src/pool.rs", "let a = x.unwrap();\n");
+        let empty = BTreeMap::new();
         let mut report = Report::default();
-        route_finding(&f, &cfg, finding(&f.rel_path, 1, "no-panic-paths"), &mut report);
+        route_finding(
+            &empty,
+            &cfg,
+            finding("crates/bench/src/micro.rs", 1, "no-panic-paths"),
+            &mut report,
+        );
+        assert_eq!(report.exempted, 1);
+        assert!(report.allowed.is_empty() && report.findings.is_empty());
+
+        route_finding(
+            &empty,
+            &cfg,
+            finding("crates/engine/src/pool.rs", 1, "no-panic-paths"),
+            &mut report,
+        );
         assert_eq!(report.allowed.len(), 1);
         assert_eq!(report.allowed[0].source, "analyze.toml");
         assert!(report.findings.is_empty());
 
-        let g = file("crates/cache/src/recorder.rs", "let a = x.unwrap();\n");
-        route_finding(&g, &cfg, finding(&g.rel_path, 1, "no-panic-paths"), &mut report);
+        route_finding(
+            &empty,
+            &cfg,
+            finding("crates/cache/src/recorder.rs", 1, "no-panic-paths"),
+            &mut report,
+        );
         assert_eq!(report.findings.len(), 1, "no allow entry for cache");
     }
 
@@ -250,15 +387,63 @@ mod tests {
     }
 
     #[test]
+    fn parallel_scan_matches_serial_byte_for_byte() {
+        let tmp = std::env::temp_dir().join(format!("sdbp-analyze-par-{}", std::process::id()));
+        for i in 0..12 {
+            let p = tmp.join(format!("crates/traceio/src/f{i}.rs"));
+            std::fs::create_dir_all(p.parent().expect("parent")).expect("mkdir");
+            std::fs::write(&p, format!("fn f{i}(x: Option<u32>) -> u32 {{ x.unwrap() }}\n"))
+                .expect("write");
+        }
+        let cfg = Config::default();
+        let serial = analyze_workspace(&tmp, &cfg, &ScanOptions { jobs: 1, cache_path: None })
+            .expect("serial scan");
+        let parallel = analyze_workspace(&tmp, &cfg, &ScanOptions { jobs: 8, cache_path: None })
+            .expect("parallel scan");
+        std::fs::remove_dir_all(&tmp).expect("cleanup");
+        assert_eq!(serial.findings, parallel.findings);
+        assert_eq!(
+            crate::report::render_json(&serial, &crate::rules::all_rule_info()),
+            crate::report::render_json(&parallel, &crate::rules::all_rule_info()),
+            "parallel report must be byte-identical to serial"
+        );
+        assert_eq!(serial.findings.len(), 12);
+    }
+
+    #[test]
+    fn warm_cache_reuses_every_file_and_detects_edits() {
+        let tmp = std::env::temp_dir().join(format!("sdbp-analyze-warm-{}", std::process::id()));
+        let src_dir = tmp.join("crates/traceio/src");
+        std::fs::create_dir_all(&src_dir).expect("mkdir");
+        std::fs::write(src_dir.join("a.rs"), "fn a(x: Option<u32>) -> u32 { x.unwrap() }\n")
+            .expect("write");
+        std::fs::write(src_dir.join("b.rs"), "/// Fine.\npub fn b() {}\n").expect("write");
+        let cfg = Config::default();
+        let opts = ScanOptions { jobs: 2, cache_path: Some(tmp.join("target/cache.json")) };
+
+        let cold = analyze_workspace(&tmp, &cfg, &opts).expect("cold scan");
+        assert_eq!(cold.cache_hits, 0);
+        let warm = analyze_workspace(&tmp, &cfg, &opts).expect("warm scan");
+        assert_eq!(warm.cache_hits, 2, "all files reused");
+        assert_eq!(cold.findings, warm.findings);
+
+        std::fs::write(src_dir.join("b.rs"), "/// Edited.\npub fn b() -> u32 { 1 }\n")
+            .expect("edit");
+        let edited = analyze_workspace(&tmp, &cfg, &opts).expect("edited scan");
+        std::fs::remove_dir_all(&tmp).expect("cleanup");
+        assert_eq!(edited.cache_hits, 1, "only the untouched file reuses");
+    }
+
+    #[test]
     fn analyze_on_real_rules_is_deterministic() {
         let tmp = std::env::temp_dir().join(format!("sdbp-analyze-det-{}", std::process::id()));
         let p = tmp.join("crates/traceio/src/reader.rs");
         std::fs::create_dir_all(p.parent().expect("parent")).expect("mkdir");
         std::fs::write(&p, "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n").expect("write");
-        let rules = all_rules();
         let cfg = Config::default();
-        let a = analyze_workspace(&tmp, &rules, &cfg).expect("scan");
-        let b = analyze_workspace(&tmp, &rules, &cfg).expect("scan");
+        let opts = ScanOptions::default();
+        let a = analyze_workspace(&tmp, &cfg, &opts).expect("scan");
+        let b = analyze_workspace(&tmp, &cfg, &opts).expect("scan");
         std::fs::remove_dir_all(&tmp).expect("cleanup");
         assert_eq!(a.findings, b.findings);
         assert_eq!(a.findings.len(), 1);

@@ -1,0 +1,24 @@
+//! Fixture: two lock guards held across blocking rendezvous points —
+//! a channel `recv` under a `let`-bound guard and a socket `write_all`
+//! inside an `if let` guard body.
+
+use std::io::Write as _;
+
+/// Blocks on `recv` while holding the queue lock.
+pub fn worker(q: &std::sync::Mutex<Vec<u64>>, rx: &std::sync::mpsc::Receiver<u64>) {
+    if let Ok(mut g) = q.lock() {
+        let job = rx.recv();
+        if let Ok(job) = job {
+            g.push(job);
+        }
+    }
+}
+
+/// Blocks on `write_all` while holding the buffer lock.
+pub fn flusher(q: &std::sync::Mutex<Vec<u8>>, sock: &mut std::net::TcpStream) {
+    if let Ok(g) = q.lock() {
+        if let Err(e) = sock.write_all(&g) {
+            eprintln!("flush failed: {e}");
+        }
+    }
+}

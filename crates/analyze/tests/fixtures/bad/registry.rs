@@ -1,0 +1,10 @@
+//! Fixture: a registry registering one policy; whether the policy is
+//! *covered* depends on the golden fixture and smoke gate the test
+//! pairs this file with.
+
+/// Registers the fixture policy set.
+pub fn standard() -> Registry {
+    let mut r = Registry::base();
+    r.register(PolicyEntry { name: "tdbp", label: "tagged DBP" });
+    r
+}

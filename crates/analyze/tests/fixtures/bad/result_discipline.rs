@@ -1,0 +1,18 @@
+//! Fixture: every discard here swallows a real `Result` — a builtin
+//! I/O method, a workspace function, a fallible macro, and a
+//! statement-terminal `.ok()` drop.
+
+use std::io::Write as _;
+
+/// A workspace function whose `Result` must not be dropped.
+pub fn persist(out: &mut std::fs::File) -> std::io::Result<()> {
+    out.sync_all()
+}
+
+/// Four findings live here.
+pub fn leaky(sock: &mut std::net::TcpStream, out: &mut std::fs::File) {
+    let _ = sock.write_all(b"x");
+    let _ = persist(out);
+    let _ = writeln!(sock, "gone");
+    sock.flush().ok();
+}

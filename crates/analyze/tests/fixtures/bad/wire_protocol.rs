@@ -1,0 +1,28 @@
+//! Fixture: `Frame::Pong` has an encode arm and a handler, but no
+//! decode arm — the frame this side emits is one it cannot read back.
+
+/// The fixture wire contract.
+pub enum Frame {
+    /// Round-trips fine.
+    Ping,
+    /// Encoded and handled, but never decoded.
+    Pong,
+}
+
+impl Frame {
+    /// Writes the tag byte.
+    pub fn encode(&self) -> u8 {
+        match self {
+            Frame::Ping => 0,
+            Frame::Pong => 1,
+        }
+    }
+
+    /// Reads the tag byte — `Pong` is missing.
+    pub fn decode(tag: u8) -> Option<Frame> {
+        match tag {
+            0 => Some(Frame::Ping),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Fixture: every critical section ends before the blocking call — by
+//! block scope, by explicit `drop`, or because the guard is an un-bound
+//! temporary that dies at its own statement.
+
+/// The guard's `if let` body closes before the `recv`.
+pub fn drain(q: &std::sync::Mutex<Vec<u64>>, rx: &std::sync::mpsc::Receiver<u64>) {
+    if let Ok(mut g) = q.lock() {
+        g.clear();
+    }
+    if let Ok(job) = rx.recv() {
+        if let Ok(mut g) = q.lock() {
+            g.push(job);
+        }
+    }
+}
+
+/// Explicit `drop` ends the critical section before the send.
+pub fn handoff(q: &std::sync::Mutex<Vec<u64>>, tx: &std::sync::mpsc::Sender<u64>) {
+    if let Ok(mut g) = q.lock() {
+        let job = g.pop();
+        drop(g);
+        if let Some(job) = job {
+            match tx.send(job) {
+                Ok(()) => {}
+                Err(e) => eprintln!("receiver gone: {e}"),
+            }
+        }
+    }
+}

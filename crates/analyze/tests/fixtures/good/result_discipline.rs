@@ -1,0 +1,33 @@
+//! Fixture: every `Result` is handled, propagated with `?`, bound for
+//! later use, or justified in-line.
+
+use std::io::Write as _;
+
+/// Propagates its own I/O errors.
+pub fn persist(out: &mut std::fs::File) -> std::io::Result<()> {
+    out.sync_all()
+}
+
+/// Infallible helper: discarding its value is not a `Result` discard.
+pub fn ident(x: u32) -> u32 {
+    x
+}
+
+/// No findings live here; the justified discard is retained for audit.
+pub fn careful(
+    sock: &mut std::net::TcpStream,
+    out: &mut std::fs::File,
+) -> std::io::Result<()> {
+    persist(out)?;
+    if let Err(e) = sock.write_all(b"x") {
+        eprintln!("send failed: {e}");
+    }
+    let _ = ident(3);
+    let parsed = "7".parse::<u32>().ok();
+    if let Some(n) = parsed {
+        writeln!(sock, "{n}")?;
+    }
+    // sdbp-allow(result-discipline): fixture: best-effort goodbye on a dying socket
+    let _ = sock.write_all(b"bye");
+    Ok(())
+}

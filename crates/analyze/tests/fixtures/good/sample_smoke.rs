@@ -1,0 +1,9 @@
+//! Fixture: the smoke gate iterates the whole registry, so every
+//! registered policy is covered by construction.
+
+fn main() {
+    let registry = standard();
+    for entry in registry.entries() {
+        run(entry);
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: the session-side handler covering every `Frame` variant.
+
+/// Dispatches one decoded frame.
+pub fn handle(frame: Frame) -> &'static str {
+    match frame {
+        Frame::Ping => "ping",
+        Frame::Pong => "pong",
+    }
+}

@@ -1,0 +1,29 @@
+//! Fixture: both variants have an encode arm and a decode arm (the
+//! handler lives in `good/wire_handler.rs`).
+
+/// The fixture wire contract.
+pub enum Frame {
+    /// Liveness probe.
+    Ping,
+    /// Liveness answer.
+    Pong,
+}
+
+impl Frame {
+    /// Writes the tag byte.
+    pub fn encode(&self) -> u8 {
+        match self {
+            Frame::Ping => 0,
+            Frame::Pong => 1,
+        }
+    }
+
+    /// Reads the tag byte.
+    pub fn decode(tag: u8) -> Option<Frame> {
+        match tag {
+            0 => Some(Frame::Ping),
+            1 => Some(Frame::Pong),
+            _ => None,
+        }
+    }
+}

@@ -3,17 +3,22 @@
 //! applies via `sdbp-repro analyze`.
 
 use sdbp_analyze::config::Config;
-use sdbp_analyze::rules::{all_rules, rule_ids};
-use sdbp_analyze::workspace::{analyze_workspace, find_root};
+use sdbp_analyze::rules::rule_ids;
+use sdbp_analyze::workspace::{analyze_workspace, collect_rust_files, find_root, ScanOptions};
 use std::path::Path;
 
-#[test]
-fn committed_workspace_is_clean_under_committed_allowlist() {
+fn committed_scan() -> (std::path::PathBuf, Config, sdbp_analyze::report::Report) {
     let here = Path::new(env!("CARGO_MANIFEST_DIR"));
     let root = find_root(here).expect("workspace root above crates/analyze");
     let config =
         Config::load(&root.join("analyze.toml"), &rule_ids()).expect("committed allowlist parses");
-    let report = analyze_workspace(&root, &all_rules(), &config).expect("scan succeeds");
+    let report = analyze_workspace(&root, &config, &ScanOptions::default()).expect("scan succeeds");
+    (root, config, report)
+}
+
+#[test]
+fn committed_workspace_is_clean_under_committed_allowlist() {
+    let (_, config, report) = committed_scan();
     assert!(
         report.findings.is_empty(),
         "workspace has unsuppressed findings:\n{:#?}",
@@ -27,7 +32,62 @@ fn committed_workspace_is_clean_under_committed_allowlist() {
             report.allowed.iter().any(|a| a.source == "analyze.toml"
                 && a.finding.rule == entry.rule
                 && a.finding.path.starts_with(&entry.path)),
-            "stale analyze.toml entry: {} at {} no longer matches anything",
+            "stale analyze.toml entry: {} at {} no longer matches anything \
+             (run `sdbp-analyze --prune` to list, `--prune --write` to remove)",
+            entry.rule,
+            entry.path
+        );
+    }
+}
+
+/// Rules apply workspace-wide by default; `[[exempt]]` entries opt code
+/// out one rule at a time. No crate may opt out of *everything* — a
+/// crate covered by zero rules has silently left the lint regime, which
+/// is exactly the erosion the inverted default exists to prevent.
+#[test]
+fn every_crate_is_covered_by_at_least_one_rule() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_root(here).expect("workspace root above crates/analyze");
+    let config =
+        Config::load(&root.join("analyze.toml"), &rule_ids()).expect("committed allowlist parses");
+    let files = collect_rust_files(&root).expect("walk succeeds");
+
+    let mut crates: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for f in &files {
+        if let Some(rest) = f.strip_prefix("crates/") {
+            if let Some((name, _)) = rest.split_once('/') {
+                crates.insert(format!("crates/{name}/"));
+            }
+        }
+    }
+    assert!(crates.len() >= 5, "expected a multi-crate workspace, found {crates:?}");
+
+    for krate in &crates {
+        // A crate is covered by a rule if at least one of its files is
+        // not exempted from that rule.
+        let crate_files: Vec<&String> =
+            files.iter().filter(|f| f.starts_with(krate.as_str())).collect();
+        let covered = rule_ids().iter().any(|rule| {
+            crate_files.iter().any(|f| config.exempts(rule, f).is_none())
+        });
+        assert!(
+            covered,
+            "{krate} is exempted from every rule — remove at least one \
+             [[exempt]] entry or justify the crate's existence to the linter"
+        );
+    }
+}
+
+/// The committed tree's exempt entries must each drop at least one
+/// finding, for the same reason stale allows are rejected.
+#[test]
+fn exempt_entries_point_at_real_paths() {
+    let (root, config, _) = committed_scan();
+    for entry in &config.exempts {
+        let p = root.join(&entry.path);
+        assert!(
+            p.exists(),
+            "[[exempt]] {} at {} names a path that no longer exists",
             entry.rule,
             entry.path
         );

@@ -158,6 +158,10 @@ where
             // sdbp-allow(no-panic-paths): documented panicking wrapper; fallible callers use try_record_for_core
             panic!("instruction stream for {name} ended at {got}")
         }
+        Err(RecordError::TooLong { wanted }) => {
+            // sdbp-allow(no-panic-paths): documented panicking wrapper; fallible callers use try_record_for_core
+            panic!("{wanted} instructions exceed the recordable u32 ordinal space")
+        }
         Err(RecordError::Source(e)) => match e {},
     }
 }
@@ -174,6 +178,12 @@ pub enum RecordError<E> {
         /// Instructions requested.
         wanted: u64,
     },
+    /// More instructions were requested than [`LlcAccess::instr`] can
+    /// index (`u32::MAX`); recording would silently truncate ordinals.
+    TooLong {
+        /// Instructions requested.
+        wanted: u64,
+    },
 }
 
 impl<E: std::fmt::Display> std::fmt::Display for RecordError<E> {
@@ -182,6 +192,9 @@ impl<E: std::fmt::Display> std::fmt::Display for RecordError<E> {
             RecordError::Source(e) => write!(f, "trace source failed: {e}"),
             RecordError::Exhausted { got, wanted } => {
                 write!(f, "instruction stream ended at {got} of {wanted}")
+            }
+            RecordError::TooLong { wanted } => {
+                write!(f, "{wanted} instructions exceed the u32 ordinal space of LlcAccess")
             }
         }
     }
@@ -200,7 +213,9 @@ impl<E: std::fmt::Display + std::fmt::Debug> std::error::Error for RecordError<E
 /// # Errors
 ///
 /// [`RecordError::Source`] wraps the first source error;
-/// [`RecordError::Exhausted`] reports a stream that ended early.
+/// [`RecordError::Exhausted`] reports a stream that ended early;
+/// [`RecordError::TooLong`] rejects requests past the u32 ordinal space
+/// of [`LlcAccess::instr`] before any work is done.
 pub fn try_record_for_core<I, E>(
     name: &str,
     instrs: I,
@@ -210,6 +225,9 @@ pub fn try_record_for_core<I, E>(
 where
     I: IntoIterator<Item = Result<Instr, E>>,
 {
+    if instructions > u64::from(u32::MAX) {
+        return Err(RecordError::TooLong { wanted: instructions });
+    }
     let mut upper = UpperLevels::new();
     let mut records = Vec::with_capacity(instructions as usize);
     let mut llc = Vec::new();
@@ -232,6 +250,7 @@ where
                             block: BlockAddr::new(tag_block(m.addr.block().raw(), core)),
                             kind: m.kind,
                             core,
+                            // sdbp-allow(lossless-codec-casts): i < instructions <= u32::MAX, guarded at entry
                             instr: i as u32,
                         });
                         InstrKind::Llc

@@ -41,6 +41,7 @@ fn render(matrix: &[Vec<SingleResult>]) -> String {
     let mut out = String::new();
     for row in matrix {
         for r in row {
+            // sdbp-allow(result-discipline): fmt::Write into a String is infallible
             let _ = writeln!(
                 out,
                 "{} {} misses={} mpki={:.6} ipc={:.6}",
@@ -103,6 +104,7 @@ fn traceio_bench(accesses: u64) -> String {
         decoded += 1;
     }
     let decode_s = decode_started.elapsed().as_secs_f64();
+    // sdbp-allow(result-discipline): best-effort tmpfile cleanup; a leak is harmless
     std::fs::remove_file(&path).ok();
 
     assert_eq!(decoded, accesses, "decode lost records");
@@ -202,7 +204,10 @@ fn main() {
     );
     if let Some(parent) = std::path::Path::new(&output).parent() {
         if !parent.as_os_str().is_empty() {
-            let _ = std::fs::create_dir_all(parent);
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("cannot create {}: {e}", parent.display());
+                std::process::exit(1);
+            }
         }
     }
     if let Err(e) = std::fs::write(&output, &json) {
@@ -229,7 +234,10 @@ fn main() {
     let trace_json = traceio_bench(trace_accesses);
     if let Some(parent) = std::path::Path::new(&traceio_output).parent() {
         if !parent.as_os_str().is_empty() {
-            let _ = std::fs::create_dir_all(parent);
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("cannot create {}: {e}", parent.display());
+                std::process::exit(1);
+            }
         }
     }
     if let Err(e) = std::fs::write(&traceio_output, &trace_json) {

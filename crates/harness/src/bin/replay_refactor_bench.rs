@@ -138,6 +138,7 @@ fn main() {
     let per = |s: f64| if s > 0.0 { accesses as f64 / s } else { 0.0 };
     let mut policies_json = String::new();
     for (i, r) in reports.iter().enumerate() {
+        // sdbp-allow(result-discipline): fmt::Write into a String is infallible
         let _ = write!(
             policies_json,
             "    {{\n      \"spec\": \"{}\",\n      \"misses\": {},\n      \
@@ -162,7 +163,10 @@ fn main() {
     );
     if let Some(parent) = std::path::Path::new(&output).parent() {
         if !parent.as_os_str().is_empty() {
-            let _ = std::fs::create_dir_all(parent);
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("cannot create {}: {e}", parent.display());
+                std::process::exit(1);
+            }
         }
     }
     if let Err(e) = std::fs::write(&output, &json) {

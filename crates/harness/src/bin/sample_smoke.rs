@@ -218,6 +218,7 @@ fn main() {
 
     let mut policies_json = String::new();
     for (i, r) in rows.iter().enumerate() {
+        // sdbp-allow(result-discipline): fmt::Write into a String is infallible
         let _ = writeln!(
             policies_json,
             "    {{\"policy\": \"{}\", \"exact_misses\": {}, \"estimated\": {}, \
@@ -260,7 +261,10 @@ fn main() {
     );
     if let Some(parent) = std::path::Path::new(&output).parent() {
         if !parent.as_os_str().is_empty() {
-            let _ = std::fs::create_dir_all(parent);
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("cannot create {}: {e}", parent.display());
+                std::process::exit(1);
+            }
         }
     }
     if let Err(e) = std::fs::write(&output, &json) {

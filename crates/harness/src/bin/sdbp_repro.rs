@@ -176,8 +176,11 @@ fn main() {
                 println!("==== {id} ====");
                 println!("{report}");
                 if let Some(f) = output.as_mut() {
-                    let _ = writeln!(f, "==== {id} ====
-{report}");
+                    if let Err(e) = writeln!(f, "==== {id} ====
+{report}") {
+                        eprintln!("error: cannot append {id} to results file: {e}");
+                        failed = true;
+                    }
                 }
                 eprintln!("[{id}: {:.1}s]", start.elapsed().as_secs_f64());
             }

@@ -31,6 +31,7 @@
 
 use sdbp_cache::recorder::LlcAccess;
 use sdbp_cache::CacheConfig;
+// sdbp-allow(deterministic-iteration): next-use precomputation is keyed lookup/insert only
 use std::collections::HashMap;
 
 /// Sentinel meaning "never referenced again".
@@ -61,6 +62,7 @@ impl OptimalResult {
 /// ([`NEVER`] if none). One backward pass, O(n) expected.
 pub fn next_use_distances(stream: &[LlcAccess]) -> Vec<u64> {
     let mut next = vec![NEVER; stream.len()];
+    // sdbp-allow(deterministic-iteration): keyed lookup/insert only; never iterated
     let mut last_seen: HashMap<u64, u64> = HashMap::new();
     for (i, a) in stream.iter().enumerate().rev() {
         let key = a.block.raw();
@@ -93,6 +95,7 @@ pub fn simulate_with_options(
 ) -> OptimalResult {
     let next = next_use_distances(stream);
     // Per-set frames: (block, next_use).
+    // sdbp-allow(flat-metadata): offline oracle; per-set frames built once, not per-access metadata
     let mut frames: Vec<Vec<(u64, u64)>> = vec![Vec::new(); config.sets];
     let mut result =
         OptimalResult { accesses: stream.len() as u64, hits: 0, misses: 0, bypasses: 0 };

@@ -112,6 +112,7 @@ pub fn replay_sampled<F: FnMut() -> Cache>(
         .collect();
     order.sort_unstable();
 
+    // sdbp-allow(flat-metadata): per-representative hit patterns, assembled once per campaign
     let mut patterns: Vec<Vec<bool>> = vec![Vec::new(); plan.representatives.len()];
     let mut replayed = 0u64;
     let mut cache = fresh();

@@ -47,6 +47,7 @@ pub(crate) fn run_session(shared: &Arc<Shared>, stream: TcpStream, session: u64)
     // read at shutdown), so dropping our halves is not enough to close
     // the connection — shut it down explicitly so the peer sees EOF as
     // soon as the session ends.
+    // sdbp-allow(result-discipline): socket may already be closed; that is the goal state
     let _ = writer.shutdown(std::net::Shutdown::Both);
 }
 
@@ -62,6 +63,7 @@ fn serve_connection(
     match Frame::read_from(&mut reader) {
         Ok(Some(Frame::Hello { version, client: _ })) => {
             if version != PROTOCOL_VERSION {
+                // sdbp-allow(result-discipline): best-effort rejection notice before closing
                 let _ = Frame::ErrorReply {
                     code: ErrorCode::BadVersion,
                     detail: format!(
@@ -81,6 +83,7 @@ fn serve_connection(
             }
         }
         Ok(Some(other)) => {
+            // sdbp-allow(result-discipline): best-effort rejection notice before closing
             let _ = Frame::ErrorReply {
                 code: ErrorCode::Protocol,
                 detail: format!("expected Hello, got {}", other.name()),
@@ -119,6 +122,7 @@ fn serve_connection(
                 // unknown kind, garbage body) — there is no way to
                 // resynchronize, so answer if the socket still works and
                 // close. The queue is untouched: nothing was in flight.
+                // sdbp-allow(result-discipline): best-effort diagnosis on a broken stream
                 let _ = Frame::ErrorReply {
                     code: ErrorCode::Protocol,
                     detail: e.to_string(),
@@ -311,6 +315,7 @@ fn receive_inline(
             Ok(Some(other)) => {
                 // Anything else mid-transfer leaves the conversation
                 // ambiguous; report and close.
+                // sdbp-allow(result-discipline): best-effort diagnosis before closing
                 let _ = Frame::ErrorReply {
                     code: ErrorCode::Protocol,
                     detail: format!("expected TraceChunk or TraceEnd, got {}", other.name()),
