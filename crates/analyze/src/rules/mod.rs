@@ -18,6 +18,7 @@ mod panic_paths;
 mod registry_coverage;
 mod result_discipline;
 mod seed;
+mod shard_determinism;
 mod wallclock;
 mod wire_exhaustive;
 
@@ -35,6 +36,7 @@ pub use panic_paths::NoPanicPaths;
 pub use registry_coverage::RegistryCoverage;
 pub use result_discipline::ResultDiscipline;
 pub use seed::SeedDiscipline;
+pub use shard_determinism::ShardDeterminism;
 pub use wallclock::NoWallclockInSim;
 pub use wire_exhaustive::WireExhaustive;
 
@@ -114,6 +116,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(PubApiDocs),
         Box::new(FlatMetadata),
         Box::new(MutexDiscipline),
+        Box::new(ShardDeterminism),
     ]
 }
 

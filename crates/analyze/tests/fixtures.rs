@@ -252,6 +252,38 @@ fn good_mutex_discipline_fixture_is_clean() {
 }
 
 #[test]
+fn bad_shard_determinism_fixture_flags_every_arrival_order_merge() {
+    let r = scan_fixture(
+        "bad-shard",
+        "bad/shard_determinism.rs",
+        "crates/cache/src/kernel.rs",
+    );
+    assert_eq!(count(&r, "shard-determinism"), 3, "{:#?}", r.findings);
+}
+
+#[test]
+fn good_shard_determinism_fixture_is_clean() {
+    let r = scan_fixture(
+        "good-shard",
+        "good/shard_determinism.rs",
+        "crates/engine/src/fan.rs",
+    );
+    assert_eq!(count(&r, "shard-determinism"), 0, "{:#?}", r.findings);
+}
+
+#[test]
+fn shard_determinism_is_scoped_to_the_kernel_and_fanout_modules() {
+    // The same arrival-order merge outside the kernel/fan-out modules is
+    // out of scope — the rule must not leak into e.g. the harness.
+    let r = scan_fixture(
+        "scoped-shard",
+        "bad/shard_determinism.rs",
+        "crates/harness/src/runner.rs",
+    );
+    assert_eq!(count(&r, "shard-determinism"), 0, "{:#?}", r.findings);
+}
+
+#[test]
 fn injected_violation_fails_the_cli_and_writes_the_report() {
     let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("fixture-cli-inject");
     if root.exists() {

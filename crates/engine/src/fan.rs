@@ -1,0 +1,201 @@
+//! Intra-job fan-out: a running [`Job`] may split into shard subtasks
+//! that execute on the **same** worker pool, with submission-order
+//! aggregation and per-shard panic isolation.
+//!
+//! The pool (PR 1) parallelizes *across* jobs; a single long replay
+//! still pinned one worker. A [`Job::fan`] closure receives a
+//! [`FanScope`] and may call [`FanScope::run_batch`] to push shard
+//! subtasks onto the shared queue: idle workers pick them up, and the
+//! fanning job itself help-drains the queue while it waits, so a fully
+//! saturated pool degrades gracefully to inline execution instead of
+//! deadlocking. Results come back **indexed by submission order**,
+//! never by completion order — the same determinism discipline the
+//! outer pool enforces (and the `shard-determinism` analyze rule pins).
+//!
+//! Deadlock freedom: a fanning job blocks on its results channel only
+//! after observing the shared subtask queue empty; since the queue
+//! never grows behind its back with its *own* tasks (it pushed them all
+//! before waiting), its outstanding subtasks are necessarily in flight
+//! on some thread, which will send. Nested fan-out (a subtask that
+//! itself fans) runs inline — subtasks are leaves by construction.
+
+use crate::job::{Job, JobFailure, JobOutcome, JobStats};
+use std::collections::VecDeque;
+use std::sync::{mpsc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A type-erased shard subtask queued on the pool.
+pub(crate) type SubTask<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// Queue state shared by the workers and every fanning job. A single
+/// mutex guards both the subtask queue and the outstanding-main-job
+/// count so the exit condition ("no subtasks, and no main job that
+/// could still fan") is checked atomically — no lost wakeups.
+pub(crate) struct SubState<'env> {
+    /// Queued shard subtasks, drained by workers and help-draining
+    /// submitters alike.
+    pub(crate) subs: VecDeque<SubTask<'env>>,
+    /// Main jobs not yet completed; while nonzero, an idle worker must
+    /// wait (a running main may still fan out subtasks) rather than exit.
+    pub(crate) pending_main: usize,
+}
+
+/// The condvar-protected fan state one pool execution shares.
+pub(crate) struct FanState<'env> {
+    pub(crate) state: Mutex<SubState<'env>>,
+    pub(crate) cv: Condvar,
+}
+
+impl<'env> FanState<'env> {
+    pub(crate) fn new(pending_main: usize) -> Self {
+        FanState {
+            state: Mutex::new(SubState { subs: VecDeque::new(), pending_main }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// The fan-out handle a [`Job::fan`] closure receives.
+///
+/// On a multi-worker pool the scope is backed by the shared subtask
+/// queue; on a serial engine (or inside a subtask) it executes inline
+/// on the calling thread — same results, same order, no threads.
+pub struct FanScope<'scope, 'env> {
+    pool: Option<&'scope FanState<'env>>,
+}
+
+impl std::fmt::Debug for FanScope<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FanScope").field("pooled", &self.pool.is_some()).finish()
+    }
+}
+
+impl<'scope, 'env> FanScope<'scope, 'env> {
+    /// A scope that runs subtasks inline on the calling thread — the
+    /// serial reference path the pooled path must match bit for bit.
+    #[must_use]
+    pub fn inline() -> Self {
+        FanScope { pool: None }
+    }
+
+    /// A scope backed by the pool's shared subtask queue.
+    pub(crate) fn pooled(state: &'scope FanState<'env>) -> Self {
+        FanScope { pool: Some(state) }
+    }
+
+    /// True when subtasks may run on other workers (false on serial
+    /// engines and inside nested fan-out, where they run inline).
+    #[must_use]
+    pub fn is_pooled(&self) -> bool {
+        self.pool.is_some()
+    }
+
+    /// Runs `jobs` as shard subtasks and returns their outcomes **in
+    /// submission order**, each with the pool's usual panic isolation:
+    /// a panicking shard becomes an `Err(`[`JobFailure`]`)` outcome
+    /// while its siblings complete.
+    ///
+    /// Subtask closures must own their inputs (`Arc` clones, `Copy`
+    /// configs), exactly like top-level jobs.
+    pub fn run_batch<T: Send + 'env>(&self, jobs: Vec<Job<'env, T>>) -> Vec<JobOutcome<T>> {
+        let submitted = Instant::now();
+        match self.pool {
+            None => jobs.into_iter().map(|j| j.run_leaf(submitted)).collect(),
+            Some(fan) => run_pooled(fan, submitted, jobs),
+        }
+    }
+}
+
+/// Pushes `jobs` onto the shared subtask queue, help-drains the queue
+/// while waiting, and returns the outcomes in submission order.
+fn run_pooled<'env, T: Send + 'env>(
+    fan: &FanState<'env>,
+    submitted: Instant,
+    jobs: Vec<Job<'env, T>>,
+) -> Vec<JobOutcome<T>> {
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let (tx, rx) = mpsc::channel::<(usize, JobOutcome<T>)>();
+    // Box the subtasks *before* taking the lock: the closures contain a
+    // channel send, and building them under the guard would put that
+    // send lexically inside the critical section.
+    let mut tasks: Vec<SubTask<'env>> = Vec::with_capacity(n);
+    for (index, job) in jobs.into_iter().enumerate() {
+        let tx = tx.clone();
+        tasks.push(Box::new(move || {
+            let outcome = job.run_leaf(submitted);
+            // sdbp-allow(result-discipline): the submitter only drops the receiver after every slot is filled or lost; a dead receiver needs no result
+            let _ = tx.send((index, outcome));
+        }));
+    }
+    drop(tx);
+    {
+        // sdbp-allow(no-panic-paths): propagating mutex poisoning after a worker panic outside a job is deliberate
+        let mut st = fan.state.lock().expect("fan state poisoned");
+        st.subs.extend(tasks.drain(..));
+    }
+    fan.cv.notify_all();
+
+    let mut slots: Vec<Option<JobOutcome<T>>> = (0..n).map(|_| None).collect();
+    let mut filled = 0usize;
+    while filled < n {
+        // Help-drain: run any queued subtask (ours or another fanning
+        // job's) instead of blocking, so a saturated pool makes
+        // progress on this very thread.
+        let sub = {
+            // sdbp-allow(no-panic-paths): propagating mutex poisoning after a worker panic outside a job is deliberate
+            fan.state.lock().expect("fan state poisoned").subs.pop_front()
+        };
+        if let Some(sub) = sub {
+            sub();
+            while let Ok((index, outcome)) = rx.try_recv() {
+                filled += fill(&mut slots, index, outcome);
+            }
+            continue;
+        }
+        // Queue empty: our remaining subtasks are in flight on other
+        // threads; block until one reports.
+        match rx.recv() {
+            Ok((index, outcome)) => filled += fill(&mut slots, index, outcome),
+            Err(_) => break, // every sender gone: all our subtasks ran
+        }
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(index, slot)| slot.unwrap_or_else(|| lost_shard(index)))
+        .collect()
+}
+
+/// Writes one tagged outcome into its submission-order slot, returning
+/// how many new slots were filled (0 on an impossible duplicate).
+fn fill<T>(slots: &mut [Option<JobOutcome<T>>], index: usize, outcome: JobOutcome<T>) -> usize {
+    match slots.get_mut(index) {
+        Some(slot @ None) => {
+            *slot = Some(outcome);
+            1
+        }
+        _ => 0,
+    }
+}
+
+/// The outcome recorded for a shard whose result never arrived — a
+/// failure entry, not a panic, so sibling shards still report.
+fn lost_shard<T>(index: usize) -> JobOutcome<T> {
+    let name = format!("shard#{index}");
+    JobOutcome {
+        result: Err(JobFailure {
+            job: name.clone(),
+            message: "fan subtask result lost".to_owned(),
+        }),
+        stats: JobStats {
+            name,
+            accesses: 0,
+            source: None,
+            queued_for: Duration::ZERO,
+            ran_for: Duration::ZERO,
+        },
+    }
+}

@@ -1,0 +1,139 @@
+//! Fan-out contract tests: shard subtasks on the shared pool must
+//! aggregate in submission order, isolate panics per shard, and run
+//! bit-identically on serial engines and inside nested fan-out.
+
+use sdbp_engine::{Engine, FanScope, Job};
+use std::time::Duration;
+
+/// A fanning job that splits `n` shards with skewed runtimes (later
+/// shards finish first) and concatenates the results in shard order.
+fn fanning_job(name: &str, n: usize) -> Job<'static, Vec<usize>> {
+    let shards: Vec<Job<'static, usize>> = (0..n)
+        .map(|i| {
+            Job::new(format!("shard{i}"), move || {
+                std::thread::sleep(Duration::from_millis(((n - i) % 5) as u64));
+                i * 10
+            })
+        })
+        .collect();
+    Job::fan(name, move |scope: &FanScope<'_, 'static>| {
+        scope
+            .run_batch(shards)
+            .into_iter()
+            .map(|o| o.result.expect("no shard panics here"))
+            .collect()
+    })
+}
+
+#[test]
+fn fan_results_arrive_in_submission_order() {
+    let expected: Vec<usize> = (0..12).map(|i| i * 10).collect();
+    for workers in [2, 4, 8] {
+        let out = Engine::with_workers(workers)
+            .run_one("fan", fanning_job("fan", 12))
+            .expect("fan job succeeds");
+        assert_eq!(out, expected, "workers={workers} reordered shard results");
+    }
+}
+
+#[test]
+fn fan_on_serial_engine_runs_inline_with_identical_results() {
+    let serial = Engine::serial().run_one("fan", fanning_job("fan", 12)).expect("inline fan");
+    let pooled =
+        Engine::with_workers(4).run_one("fan", fanning_job("fan", 12)).expect("pooled fan");
+    assert_eq!(serial, pooled);
+}
+
+#[test]
+fn fan_isolates_a_panicking_shard() {
+    let job = Job::fan("fan", |scope: &FanScope<'_, 'static>| {
+        let shards: Vec<Job<'static, u32>> = (0..6)
+            .map(|i| {
+                Job::new(format!("shard{i}"), move || {
+                    assert!(i != 2, "shard 2 exploded");
+                    i
+                })
+            })
+            .collect();
+        let outcomes = scope.run_batch(shards);
+        let failures: Vec<String> = outcomes
+            .iter()
+            .filter_map(|o| o.result.as_ref().err().map(|f| f.job.clone()))
+            .collect();
+        let survivors: Vec<u32> =
+            outcomes.into_iter().filter_map(|o| o.result.ok()).collect();
+        (failures, survivors)
+    });
+    let (failures, survivors) =
+        Engine::with_workers(3).run_one("fan", job).expect("the fanning job itself survives");
+    assert_eq!(failures, vec!["shard2".to_owned()]);
+    assert_eq!(survivors, vec![0, 1, 3, 4, 5]);
+}
+
+#[test]
+fn fanning_job_panic_is_still_isolated_from_siblings() {
+    let mut jobs: Vec<Job<'static, Vec<usize>>> = vec![fanning_job("ok", 4)];
+    jobs.push(Job::fan("boom", |scope: &FanScope<'_, 'static>| {
+        let _ = scope.run_batch(vec![Job::new("shard0", || 1usize)]);
+        panic!("fan job dies after its shards");
+    }));
+    jobs.push(fanning_job("ok2", 4));
+    let batch = Engine::with_workers(4).run_batch("mixed", jobs);
+    assert_eq!(batch.stats.failed, 1);
+    assert!(batch.results[0].is_ok());
+    assert!(batch.results[1].as_ref().is_err_and(|f| f.job == "boom"));
+    assert!(batch.results[2].is_ok());
+}
+
+#[test]
+fn nested_fan_runs_inline_and_matches() {
+    let job = Job::fan("outer", |scope: &FanScope<'_, 'static>| {
+        let inner: Vec<Job<'static, Vec<usize>>> =
+            (0..3).map(|i| fanning_job(&format!("inner{i}"), 4)).collect();
+        assert!(scope.is_pooled());
+        scope
+            .run_batch(inner)
+            .into_iter()
+            .flat_map(|o| o.result.expect("inner fan succeeds"))
+            .collect::<Vec<usize>>()
+    });
+    let out = Engine::with_workers(4).run_one("nested", job).expect("nested fan");
+    assert_eq!(out, vec![0, 10, 20, 30, 0, 10, 20, 30, 0, 10, 20, 30]);
+}
+
+#[test]
+fn many_fanning_jobs_share_the_pool_without_deadlock() {
+    // More fanning jobs than workers: every worker is a submitter at
+    // some point, so completion relies on the help-drain path.
+    let jobs: Vec<Job<'static, Vec<usize>>> =
+        (0..8).map(|i| fanning_job(&format!("fan{i}"), 6)).collect();
+    let batch = Engine::with_workers(2).run_batch("storm", jobs);
+    let expected: Vec<usize> = (0..6).map(|i| i * 10).collect();
+    for result in batch.results {
+        assert_eq!(result.expect("no panics"), expected);
+    }
+}
+
+#[test]
+fn mixed_plain_and_fan_jobs_keep_submission_order() {
+    let mut jobs: Vec<Job<'static, Vec<usize>>> = Vec::new();
+    for i in 0..6 {
+        if i % 2 == 0 {
+            jobs.push(fanning_job(&format!("fan{i}"), 3));
+        } else {
+            jobs.push(Job::new(format!("plain{i}"), move || vec![i]));
+        }
+    }
+    let out = Engine::with_workers(4).run_batch("mixed", jobs).expect_all();
+    assert_eq!(
+        out,
+        vec![
+            vec![0, 10, 20],
+            vec![1],
+            vec![0, 10, 20],
+            vec![3],
+            vec![0, 10, 20],
+            vec![5],
+        ]
+    );
+}

@@ -52,14 +52,38 @@ fn render(matrix: &[Vec<SingleResult>]) -> String {
     out
 }
 
+/// Timings of one measured run, split by engine batch so the record
+/// phase (trace synthesis) and the replay phase (the policy matrix) are
+/// reported honestly rather than folded into one number.
+struct Measured {
+    rendered: String,
+    record_s: f64,
+    replay_s: f64,
+    total_s: f64,
+    accesses: u64,
+}
+
 /// One measured run: fresh store, fresh engine, same workload matrix.
-fn measure(engine: &Engine) -> (String, f64, u64) {
+fn measure(engine: &Engine) -> Measured {
     let store = RecordStore::new();
     let benchmarks: Vec<_> = subset().into_iter().take(8).collect();
     let policies = vec![PolicyKind::Lru, PolicyKind::Cdbp, PolicyKind::Sampler];
     let matrix = run_matrix(engine, &store, &benchmarks, &policies, sdbp_cache::CacheConfig::llc_2mb());
     let t = engine.telemetry();
-    (render(&matrix), t.elapsed().as_secs_f64(), t.accesses())
+    let phase = |label: &str| {
+        t.batches
+            .iter()
+            .filter(|b| b.label == label)
+            .map(|b| b.elapsed.as_secs_f64())
+            .sum::<f64>()
+    };
+    Measured {
+        rendered: render(&matrix),
+        record_s: phase("record"),
+        replay_s: phase("matrix"),
+        total_s: t.elapsed().as_secs_f64(),
+        accesses: t.accesses(),
+    }
 }
 
 /// Folds the fields of one instruction into a rolling FNV-1a hash, so a
@@ -171,33 +195,39 @@ fn main() {
     }
 
     let serial = Engine::serial();
-    let (serial_out, serial_s, serial_accesses) = measure(&serial);
+    let s = measure(&serial);
 
     let parallel = match workers {
         Some(n) => Engine::new(Parallelism::Workers(n)),
         None => Engine::new(Parallelism::Auto),
     };
-    let (parallel_out, parallel_s, parallel_accesses) = measure(&parallel);
+    let p = measure(&parallel);
 
-    let identical = serial_out == parallel_out;
-    let serial_tput = if serial_s > 0.0 { serial_accesses as f64 / serial_s } else { 0.0 };
+    let identical = s.rendered == p.rendered;
+    let serial_tput = if s.total_s > 0.0 { s.accesses as f64 / s.total_s } else { 0.0 };
     let parallel_tput =
-        if parallel_s > 0.0 { parallel_accesses as f64 / parallel_s } else { 0.0 };
-    let speedup = if parallel_s > 0.0 { serial_s / parallel_s } else { 1.0 };
+        if p.total_s > 0.0 { p.accesses as f64 / p.total_s } else { 0.0 };
+    let speedup = if p.total_s > 0.0 { s.total_s / p.total_s } else { 1.0 };
 
     let json = format!(
         "{{\n  \"schema\": \"sdbp-bench/v1\",\n  \"name\": \"engine_smoke\",\n  \
-         \"workers\": {},\n  \"serial\": {{\n    \"elapsed_s\": {:.6},\n    \
+         \"workers\": {},\n  \"serial\": {{\n    \"record_s\": {:.6},\n    \
+         \"replay_s\": {:.6},\n    \"elapsed_s\": {:.6},\n    \
          \"accesses\": {},\n    \"accesses_per_sec\": {:.1}\n  }},\n  \
-         \"parallel\": {{\n    \"elapsed_s\": {:.6},\n    \"accesses\": {},\n    \
+         \"parallel\": {{\n    \"record_s\": {:.6},\n    \"replay_s\": {:.6},\n    \
+         \"elapsed_s\": {:.6},\n    \"accesses\": {},\n    \
          \"accesses_per_sec\": {:.1}\n  }},\n  \"speedup\": {:.3},\n  \
          \"identical_output\": {}\n}}\n",
         parallel.workers(),
-        serial_s,
-        serial_accesses,
+        s.record_s,
+        s.replay_s,
+        s.total_s,
+        s.accesses,
         serial_tput,
-        parallel_s,
-        parallel_accesses,
+        p.record_s,
+        p.replay_s,
+        p.total_s,
+        p.accesses,
         parallel_tput,
         speedup,
         identical
@@ -216,10 +246,16 @@ fn main() {
     }
 
     println!(
-        "engine smoke: serial {serial_s:.2}s ({serial_tput:.0} acc/s), parallel x{} \
-         {parallel_s:.2}s ({parallel_tput:.0} acc/s), speedup {speedup:.2}, identical: \
-         {identical} -> {output}",
-        parallel.workers()
+        "engine smoke: serial {:.2}s (record {:.2}s + replay {:.2}s, {serial_tput:.0} acc/s), \
+         parallel x{} {:.2}s (record {:.2}s + replay {:.2}s, {parallel_tput:.0} acc/s), \
+         speedup {speedup:.2}, identical: {identical} -> {output}",
+        s.total_s,
+        s.record_s,
+        s.replay_s,
+        parallel.workers(),
+        p.total_s,
+        p.record_s,
+        p.replay_s,
     );
     if !identical {
         eprintln!("error: parallel output differs from serial output");

@@ -52,11 +52,14 @@ fn replay_is_byte_identical_to_direct_run_for_three_kernels() {
         assert_eq!(direct.records, replayed.records, "{name}: timing records differ");
         assert_eq!(direct.llc, replayed.llc, "{name}: LLC streams differ");
 
-        // ...and so is every printed summary byte, across both policies.
-        let a = replay_summary(&direct, llc);
-        let b = replay_summary(&replayed, llc);
+        // ...and so is every printed summary byte, across both policies —
+        // including when the archived replay runs set-sharded.
+        let a = replay_summary(&direct, llc, 1);
+        let b = replay_summary(&replayed, llc, 1);
         assert_eq!(a, b, "{name}: replay output is not byte-identical");
         assert!(a.contains("LRU") && a.contains("Sampler"), "{name}: {a}");
+        let sharded = replay_summary(&replayed, llc, 4);
+        assert_eq!(a, sharded, "{name}: sharded replay output differs");
     }
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -35,7 +35,7 @@ mod session;
 pub use client::{Client, JobOutcome, JobRequest, SubmitReply, TraceSubmission};
 pub use error::{FrameError, ServeError};
 pub use protocol::{Frame, PROTOCOL_VERSION};
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, SHARD_MIN_ACCESSES};
 
 /// Locks a mutex, recovering the guard if a previous holder panicked.
 ///

@@ -22,9 +22,10 @@
 use crate::error::ServeError;
 use crate::lock_clean;
 use crate::protocol::{ErrorCode, Frame};
+use sdbp_cache::kernel::{replay_sharded, ShardPlan, ThreadRunner};
 use sdbp_cache::recorder::try_record_for_core;
-use sdbp_cache::replay::{replay, replay_with_probe, ReplayResult, WindowStream};
-use sdbp_cache::{Cache, CacheConfig};
+use sdbp_cache::replay::{replay, replay_with_probe, ReplayProbe, ReplayResult, WindowStream};
+use sdbp_cache::{Cache, CacheConfig, LlcAccess};
 use sdbp_cpu::CoreModel;
 use sdbp_engine::{Engine, Job};
 use sdbp_traceio::TraceReader;
@@ -56,6 +57,16 @@ pub struct ServerConfig {
     pub max_inline_bytes: u64,
     /// Server display name sent in `HelloAck`.
     pub server_name: String,
+    /// Set shards per replay job (see `DESIGN.md` §13). Jobs of at least
+    /// [`shard_min_accesses`](ServerConfig::shard_min_accesses) accesses
+    /// whose policy carries the registry's `shardable` capability flag
+    /// replay set-sharded across this many threads; everything else
+    /// falls back to the serial kernel. Either path produces
+    /// bit-identical frames. Clamped to at least 1.
+    pub shards: usize,
+    /// Smallest job (in LLC accesses) the sharded path takes; defaults
+    /// to [`SHARD_MIN_ACCESSES`]. Tests set 0 to shard everything.
+    pub shard_min_accesses: usize,
 }
 
 impl Default for ServerConfig {
@@ -67,8 +78,21 @@ impl Default for ServerConfig {
             trace_dir: None,
             max_inline_bytes: 256 << 20,
             server_name: "sdbp-serve".to_owned(),
+            shards: 1,
+            shard_min_accesses: SHARD_MIN_ACCESSES,
         }
     }
+}
+
+/// Smallest job (in LLC accesses) worth set-sharding: below this the
+/// per-shard queue build and thread spawn cost more than they recover.
+pub const SHARD_MIN_ACCESSES: usize = 1 << 20;
+
+/// Sharding knobs threaded from [`ServerConfig`] to the replay path.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ShardKnobs {
+    pub(crate) shards: usize,
+    pub(crate) min_accesses: usize,
 }
 
 /// Signals a parked session thread that its job reached a final frame
@@ -132,6 +156,7 @@ pub(crate) struct Shared {
     pub(crate) trace_dir: Option<PathBuf>,
     pub(crate) max_inline_bytes: u64,
     pub(crate) server_name: String,
+    pub(crate) sharding: ShardKnobs,
     pub(crate) engine: Engine,
 }
 
@@ -180,6 +205,10 @@ impl Server {
             trace_dir: config.trace_dir,
             max_inline_bytes: config.max_inline_bytes,
             server_name: config.server_name,
+            sharding: ShardKnobs {
+                shards: config.shards.max(1),
+                min_accesses: config.shard_min_accesses,
+            },
             // Each executor runs one job at a time; the engine's own pool
             // stays serial so telemetry timing reflects the job itself.
             engine: Engine::with_workers(1),
@@ -357,12 +386,13 @@ fn execute_job(shared: &Shared, queued: QueuedJob) {
         mut stream,
         gate,
     } = queued;
+    let sharding = shared.sharding;
     let outcome = {
         let results_stream = &mut stream;
         shared.engine.run_one(
             &label,
             Job::new(label.clone(), move || {
-                run_replay(job, &policy, llc, window, &trace, results_stream)
+                run_replay(job, &policy, llc, window, &trace, sharding, results_stream)
             })
             .accesses(instructions)
             .source(source),
@@ -391,13 +421,18 @@ fn execute_job(shared: &Shared, queued: QueuedJob) {
 }
 
 /// The replay pipeline — identical to `sdbp-repro trace replay`'s, which
-/// is what makes wire results bit-identical to in-process ones.
+/// is what makes wire results bit-identical to in-process ones. Big jobs
+/// on set-local policies replay set-sharded (see [`replay_trace`]);
+/// since the shard merge drives the window probe in original access
+/// order, the streamed `WindowResult` frames are byte-identical either
+/// way.
 fn run_replay(
     job: u64,
     policy: &str,
     llc: CacheConfig,
     window: u32,
     trace: &[u8],
+    sharding: ShardKnobs,
     stream: &mut TcpStream,
 ) -> Result<DoneStats, (ErrorCode, String)> {
     let reader = TraceReader::new(Cursor::new(trace))
@@ -407,10 +442,6 @@ fn run_replay(
         .map_err(|e| (ErrorCode::BadTrace, e.to_string()))?;
     let spec: sdbp::registry::PolicySpec =
         policy.parse().map_err(|e: sdbp::SpecError| (ErrorCode::BadSpec, e.to_string()))?;
-    let built = sdbp::registry::standard()
-        .build(&spec, llc, 1)
-        .map_err(|e| (ErrorCode::BadSpec, e.to_string()))?;
-    let mut cache = Cache::with_policy(llc, built);
     let (result, windows): (ReplayResult, u64) = if window > 0 {
         // Stream each completed window as it closes. A dead connection
         // stops the writes but not the replay: the job still completes
@@ -422,12 +453,12 @@ fn run_replay(
                     Frame::WindowResult { job, index, misses }.write_to(stream).is_ok();
             }
         });
-        let r = replay_with_probe(&workload.llc, &mut cache, &mut probe);
+        let r = replay_trace(&workload.llc, llc, &spec, sharding, Some(&mut probe))?;
         probe.finish();
         let emitted = probe.windows();
         (r, emitted)
     } else {
-        (replay(&workload.llc, &mut cache), 0)
+        (replay_trace(&workload.llc, llc, &spec, sharding, None)?, 0)
     };
     let ipc = CoreModel::default().simulate(&workload.records, &result.hits).ipc();
     Ok(DoneStats {
@@ -438,5 +469,42 @@ fn run_replay(
         misses: result.stats.misses,
         windows,
         ipc_bits: ipc.to_bits(),
+    })
+}
+
+/// Replays `stream` under `spec`, set-sharded when the job is big
+/// enough and the policy carries the registry's `shardable` capability
+/// flag; serial otherwise.
+///
+/// Both paths drive `probe` in original access order and produce
+/// bit-identical [`ReplayResult`]s — the sharded one via the
+/// deterministic merge in `sdbp_cache::kernel` (`DESIGN.md` §13).
+fn replay_trace(
+    stream: &[LlcAccess],
+    llc: CacheConfig,
+    spec: &sdbp::registry::PolicySpec,
+    sharding: ShardKnobs,
+    probe: Option<&mut dyn ReplayProbe>,
+) -> Result<ReplayResult, (ErrorCode, String)> {
+    let registry = sdbp::registry::standard();
+    let built = registry
+        .build(spec, llc, 1)
+        .map_err(|e| (ErrorCode::BadSpec, e.to_string()))?;
+    let shardable = registry.entries().iter().any(|e| e.name == spec.name && e.shardable);
+    if sharding.shards > 1 && shardable && stream.len() >= sharding.min_accesses {
+        let plan = ShardPlan::new(llc.sets, sharding.shards);
+        let registry = &registry;
+        let fresh = move || {
+            // sdbp-allow(no-panic-paths): the same spec/geometry built cleanly above
+            let policy = registry.build(spec, llc, 1).expect("spec validated above");
+            Cache::with_policy(llc, policy)
+        };
+        return replay_sharded(stream, &plan, &fresh, &ThreadRunner, probe)
+            .map_err(|e| (ErrorCode::Internal, format!("shard merge: {e}")));
+    }
+    let mut cache = Cache::with_policy(llc, built);
+    Ok(match probe {
+        Some(p) => replay_with_probe(stream, &mut cache, p),
+        None => replay(stream, &mut cache),
     })
 }

@@ -1,0 +1,156 @@
+//! Property tests for the set-sharded replay kernel (`DESIGN.md` §13):
+//! on fixed-seed random streams, a sharded replay of any set-local
+//! policy is bit-identical to the serial one — the merged
+//! [`ReplayResult`] *and* the probe's window sequence — at every shard
+//! count, under both runners. A set-dueling policy (DIP) pins the other
+//! side of the contract: its registry entry is not `shardable`, so the
+//! production paths clamp it to the serial kernel and its output never
+//! depends on the requested shard count.
+
+use sdbp_suite::cache::kernel::{replay_sharded, SerialRunner, ShardPlan, ThreadRunner};
+use sdbp_suite::cache::recorder::{InstrKind, InstrRecord, LlcAccess, RecordedWorkload};
+use sdbp_suite::cache::replay::{replay_with_probe, WindowMisses};
+use sdbp_suite::cache::{Cache, CacheConfig};
+use sdbp_suite::harness::runner::{policy_shardable, run_policy_sharded, PolicyKind};
+use sdbp_suite::sdbp::registry::{standard, PolicySpec, Registry};
+use sdbp_suite::trace::rng::Rng64;
+use sdbp_suite::trace::{AccessKind, BlockAddr, Pc};
+
+const CASES: u64 = 16;
+const SHARD_COUNTS: [usize; 3] = [1, 3, 7];
+const SET_LOCAL_SPECS: [&str; 3] = ["lru", "plru", "srrip"];
+const WINDOW: usize = 64;
+
+/// A random LLC demand stream in the `property_based` idiom: blocks in
+/// `0..2048` so sets see real reuse, one instruction per access.
+fn random_llc_stream(rng: &mut Rng64, max_len: usize) -> Vec<LlcAccess> {
+    (0..rng.gen_range(64usize..max_len))
+        .map(|i| {
+            let pc = rng.next_u64() as u8;
+            let block = rng.gen_range(0u64..2048);
+            let write = rng.gen_bool(0.5);
+            LlcAccess {
+                pc: Pc::new(0x400 + u64::from(pc) * 4),
+                block: BlockAddr::new(block),
+                kind: if write { AccessKind::Write } else { AccessKind::Read },
+                core: 0,
+                instr: i as u32,
+            }
+        })
+        .collect()
+}
+
+fn build_cache(registry: &Registry, spec: &PolicySpec, llc: CacheConfig) -> Cache {
+    let policy = registry.build(spec, llc, 1).expect("spec builds");
+    Cache::with_policy(llc, policy)
+}
+
+/// Serial reference: full replay plus the per-window miss sequence.
+fn serial_reference(
+    registry: &Registry,
+    spec: &PolicySpec,
+    llc: CacheConfig,
+    stream: &[LlcAccess],
+) -> (sdbp_suite::cache::replay::ReplayResult, Vec<u64>) {
+    let mut cache = build_cache(registry, spec, llc);
+    let mut probe = WindowMisses::new(WINDOW);
+    let result = replay_with_probe(stream, &mut cache, &mut probe);
+    (result, probe.counts().to_vec())
+}
+
+/// Every set-local policy replays bit-identically — result and probe
+/// window sequence — at shard counts {1, 3, 7} under the serial runner.
+#[test]
+fn sharded_replay_is_bit_identical_for_set_local_policies() {
+    let registry = standard();
+    let llc = CacheConfig::new(64, 4);
+    for name in SET_LOCAL_SPECS {
+        let spec: PolicySpec = name.parse().expect("spec parses");
+        assert!(
+            registry.entries().iter().any(|e| e.name == spec.name && e.shardable),
+            "{name} lost its shardable capability flag"
+        );
+        let mut rng = Rng64::seed_from_u64(0x5da7_d001);
+        for case in 0..CASES {
+            let stream = random_llc_stream(&mut rng, 2500);
+            let (serial, serial_windows) = serial_reference(&registry, &spec, llc, &stream);
+            for shards in SHARD_COUNTS {
+                let plan = ShardPlan::new(llc.sets, shards);
+                let fresh = || build_cache(&registry, &spec, llc);
+                let mut probe = WindowMisses::new(WINDOW);
+                let result = replay_sharded(&stream, &plan, &fresh, &SerialRunner, Some(&mut probe))
+                    .expect("geometry is valid");
+                assert_eq!(
+                    result, serial,
+                    "{name} case {case}: {shards}-shard replay diverged from serial"
+                );
+                assert_eq!(
+                    probe.counts(),
+                    serial_windows.as_slice(),
+                    "{name} case {case}: {shards}-shard probe window sequence diverged"
+                );
+            }
+        }
+    }
+}
+
+/// The thread runner merges in shard index order, never completion
+/// order: its output is bit-identical to the serial runner's.
+#[test]
+fn thread_runner_matches_serial_runner() {
+    let registry = standard();
+    let llc = CacheConfig::new(64, 4);
+    let spec: PolicySpec = "lru".parse().expect("spec parses");
+    let mut rng = Rng64::seed_from_u64(0x5da7_d002);
+    for case in 0..CASES {
+        let stream = random_llc_stream(&mut rng, 2500);
+        let (serial, serial_windows) = serial_reference(&registry, &spec, llc, &stream);
+        for shards in [3usize, 7] {
+            let plan = ShardPlan::new(llc.sets, shards);
+            let fresh = || build_cache(&registry, &spec, llc);
+            let mut probe = WindowMisses::new(WINDOW);
+            let result = replay_sharded(&stream, &plan, &fresh, &ThreadRunner, Some(&mut probe))
+                .expect("geometry is valid");
+            assert_eq!(result, serial, "case {case}: threaded {shards}-shard replay diverged");
+            assert_eq!(
+                probe.counts(),
+                serial_windows.as_slice(),
+                "case {case}: threaded {shards}-shard probe diverged"
+            );
+        }
+    }
+}
+
+/// DIP duels two leader-set cohorts through one global PSEL counter, so
+/// its decisions are *not* set-local: the registry must not mark it
+/// shardable, and the production path (`run_policy_sharded`) must clamp
+/// it to the serial kernel so its output is independent of the
+/// requested shard count.
+#[test]
+fn set_dueling_policy_is_clamped_to_the_serial_path() {
+    assert!(
+        !policy_shardable(&PolicyKind::Dip),
+        "dip must stay non-shardable: its PSEL counter spans all sets"
+    );
+
+    let llc = CacheConfig::new(64, 4);
+    let mut rng = Rng64::seed_from_u64(0x5da7_d003);
+    let stream = random_llc_stream(&mut rng, 4000);
+    let workload = RecordedWorkload {
+        name: "shard-prop".to_owned(),
+        records: stream
+            .iter()
+            .map(|_| InstrRecord::new(InstrKind::Llc, false))
+            .collect(),
+        llc: stream,
+    };
+    let serial = run_policy_sharded(&workload, &PolicyKind::Dip, llc, 1);
+    for shards in [3usize, 7] {
+        let sharded = run_policy_sharded(&workload, &PolicyKind::Dip, llc, shards);
+        assert_eq!(
+            sharded.stats, serial.stats,
+            "dip at {shards} requested shards must take the serial fallback"
+        );
+        assert_eq!(sharded.ipc.to_bits(), serial.ipc.to_bits());
+    }
+}
