@@ -22,7 +22,7 @@
 use sdbp_engine::{Engine, Parallelism};
 use sdbp_harness::runner::{run_matrix, PolicyKind, RecordStore, SingleResult};
 use sdbp_trace::Instr;
-use sdbp_traceio::{format::fnv1a_step, TraceMeta, TraceReader, TraceWriter};
+use sdbp_traceio::{convert_path, format::fnv1a_step, BufferedTrace, TraceMeta, TraceReader, TraceWriter};
 use sdbp_workloads::{benchmark, subset};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -100,16 +100,26 @@ fn fold_instr(hash: u64, i: &Instr) -> u64 {
     h
 }
 
-/// Streams `accesses` synthetic instructions to a `.sdbt` file and back,
-/// returning the JSON bench record. Panics if the decoded stream is not
-/// bit-exact — this binary is CI's byte-identity gate.
-fn traceio_bench(accesses: u64) -> String {
+/// One codec's encode + stream parameters, rendered into the JSON below.
+struct CodecFigures {
+    bytes: u64,
+    bytes_per_access: f64,
+    encode_s: f64,
+    decode_s: f64,
+}
+
+/// Writes `accesses` synthetic instructions through one codec version and
+/// returns (figures, file path kept for later stages, encode hash).
+fn encode_version(
+    accesses: u64,
+    version: u32,
+    tag: &str,
+) -> (CodecFigures, std::path::PathBuf, u64) {
     let bench = benchmark("456.hmmer").expect("known benchmark");
     let path = std::env::temp_dir()
-        .join(format!("sdbp-traceio-bench-{}.sdbt", std::process::id()));
-
+        .join(format!("sdbp-traceio-bench-{}-{tag}.sdbt", std::process::id()));
     let encode_started = Instant::now();
-    let meta = TraceMeta::new(bench.name, bench.stream_seed(0));
+    let meta = TraceMeta::new(bench.name, bench.stream_seed(0)).with_version(version);
     let mut writer = TraceWriter::create(&path, meta).expect("create bench trace");
     let mut encode_hash = 0xcbf2_9ce4_8422_2325u64;
     for instr in bench.trace_seeded(0).take(accesses as usize) {
@@ -117,37 +127,136 @@ fn traceio_bench(accesses: u64) -> String {
         writer.write(&instr).expect("write bench trace");
     }
     let summary = writer.finish().expect("finish bench trace");
-    let encode_s = encode_started.elapsed().as_secs_f64();
+    let figures = CodecFigures {
+        bytes: summary.bytes,
+        bytes_per_access: summary.bytes_per_access(),
+        encode_s: encode_started.elapsed().as_secs_f64(),
+        decode_s: 0.0,
+    };
+    (figures, path, encode_hash)
+}
 
+/// Benchmarks both `.sdbt` codecs over the same `accesses`-long stream:
+/// v1 varint encode/decode, v2 columnar encode + batch decode, and the
+/// v1 -> v2 conversion, asserting every decoded stream bit-exact against
+/// the encoded one (this binary is CI's byte-identity gate). Returns the
+/// `BENCH_traceio.json` record.
+///
+/// The decode figures are **memory-resident and symmetric**: each
+/// codec's file is read into memory untimed (reported as `load`), then
+/// the timed loop does pure decode — no hashing, no I/O — so the
+/// comparison isolates codec cost. Bit-exactness is asserted by separate
+/// untimed verification passes.
+fn traceio_bench(accesses: u64) -> String {
+    // --- v1: encode, then validating streaming decode from memory. ---
+    let (mut v1, v1_path, encode_hash) = encode_version(accesses, sdbp_traceio::FORMAT_V1, "v1");
+    let load_started = Instant::now();
+    let v1_bytes = std::fs::read(&v1_path).expect("read back v1 bench trace");
+    let v1_load_s = load_started.elapsed().as_secs_f64();
     let decode_started = Instant::now();
-    let reader = TraceReader::open(&path).expect("reopen bench trace");
-    let mut decode_hash = 0xcbf2_9ce4_8422_2325u64;
+    let reader =
+        TraceReader::new(std::io::Cursor::new(v1_bytes.as_slice())).expect("reopen v1 trace");
     let mut decoded = 0u64;
     for item in reader {
-        decode_hash = fold_instr(decode_hash, &item.expect("clean decode"));
+        std::hint::black_box(&item.expect("clean decode"));
         decoded += 1;
     }
-    let decode_s = decode_started.elapsed().as_secs_f64();
-    // sdbp-allow(result-discipline): best-effort tmpfile cleanup; a leak is harmless
-    std::fs::remove_file(&path).ok();
+    v1.decode_s = decode_started.elapsed().as_secs_f64();
+    assert_eq!(decoded, accesses, "v1 decode lost records");
+    // Untimed verification pass: v1 round trip must be bit-exact.
+    let reader =
+        TraceReader::new(std::io::Cursor::new(v1_bytes.as_slice())).expect("reopen v1 trace");
+    let mut decode_hash = 0xcbf2_9ce4_8422_2325u64;
+    for item in reader {
+        decode_hash = fold_instr(decode_hash, &item.expect("clean decode"));
+    }
+    drop(v1_bytes);
+    assert_eq!(decode_hash, encode_hash, "v1 round trip is not bit-exact");
 
-    assert_eq!(decoded, accesses, "decode lost records");
-    assert_eq!(decode_hash, encode_hash, "round trip is not bit-exact");
+    // --- v2: direct columnar encode. ---
+    let (mut v2, v2_path, v2_hash) = encode_version(accesses, sdbp_traceio::FORMAT_V2, "v2");
+    assert_eq!(v2_hash, encode_hash, "the two codecs saw different streams");
+
+    // --- v1 -> v2 conversion (the archival-to-replay promotion). ---
+    let conv_path = std::env::temp_dir()
+        .join(format!("sdbp-traceio-bench-{}-conv.sdbt", std::process::id()));
+    let convert_started = Instant::now();
+    let conv = convert_path(&v1_path, &conv_path, sdbp_traceio::FORMAT_V2)
+        .expect("convert v1 trace to v2");
+    let convert_s = convert_started.elapsed().as_secs_f64();
+    assert_eq!(conv.write.instructions, accesses, "conversion lost records");
+    assert_eq!(
+        conv.write.bytes, v2.bytes,
+        "converted v2 file differs in size from a direct v2 encode"
+    );
+
+    // --- v2 batch decode from memory: validating index (checksums
+    // verified up front), then whole-chunk batch materialization. Both
+    // phases are decode work and sum to the reported `decode`. ---
+    let load_started = Instant::now();
+    let v2_bytes = std::fs::read(&conv_path).expect("read back converted v2 trace");
+    let v2_load_s = load_started.elapsed().as_secs_f64();
+    let index_started = Instant::now();
+    let buffered = BufferedTrace::from_slice(&v2_bytes).expect("index converted v2 trace");
+    let index_s = index_started.elapsed().as_secs_f64();
+    let batch_started = Instant::now();
+    let mut batches = buffered.batches();
+    let mut batch_decoded = 0u64;
+    while let Some(batch) = batches.try_next().expect("clean batch decode") {
+        batch_decoded += batch.len() as u64;
+        std::hint::black_box(batch.pcs().as_ptr());
+        std::hint::black_box(batch.addrs().as_ptr());
+        std::hint::black_box(batch.flags().as_ptr());
+    }
+    let batch_s = batch_started.elapsed().as_secs_f64();
+    v2.decode_s = index_s + batch_s;
+    assert_eq!(batch_decoded, accesses, "v2 batch decode lost records");
+
+    // Untimed verification pass: the v1 -> v2 -> batch-decode pipeline
+    // must reproduce the original stream bit-for-bit.
+    let mut verify = buffered.batches();
+    let mut v2_decode_hash = 0xcbf2_9ce4_8422_2325u64;
+    while let Some(batch) = verify.try_next().expect("clean verify decode") {
+        for instr in batch.iter() {
+            v2_decode_hash = fold_instr(v2_decode_hash, &instr);
+        }
+    }
+    assert_eq!(v2_decode_hash, encode_hash, "v1->v2->decode is not bit-exact");
+
+    for p in [&v1_path, &v2_path, &conv_path] {
+        // sdbp-allow(result-discipline): best-effort tmpfile cleanup; a leak is harmless
+        std::fs::remove_file(p).ok();
+    }
 
     let per = |s: f64| if s > 0.0 { accesses as f64 / s } else { 0.0 };
+    let stage = |s: f64| {
+        format!("{{ \"elapsed_s\": {:.6}, \"accesses_per_sec\": {:.1} }}", s, per(s))
+    };
+    let speedup = if v2.decode_s > 0.0 { v1.decode_s / v2.decode_s } else { 0.0 };
     format!(
-        "{{\n  \"schema\": \"sdbp-bench/v1\",\n  \"name\": \"traceio\",\n  \
-         \"accesses\": {},\n  \"bytes\": {},\n  \"bytes_per_access\": {:.4},\n  \
-         \"encode\": {{\n    \"elapsed_s\": {:.6},\n    \"accesses_per_sec\": {:.1}\n  }},\n  \
-         \"decode\": {{\n    \"elapsed_s\": {:.6},\n    \"accesses_per_sec\": {:.1}\n  }},\n  \
-         \"bit_exact\": true\n}}\n",
-        accesses,
-        summary.bytes,
-        summary.bytes_per_access(),
-        encode_s,
-        per(encode_s),
-        decode_s,
-        per(decode_s),
+        "{{\n  \"schema\": \"sdbp-bench/v2\",\n  \"name\": \"traceio\",\n  \
+         \"accesses\": {accesses},\n  \
+         \"v1\": {{\n    \"bytes\": {},\n    \"bytes_per_access\": {:.4},\n    \
+         \"encode\": {},\n    \"load\": {},\n    \"decode\": {}\n  }},\n  \
+         \"v2\": {{\n    \"bytes\": {},\n    \"bytes_per_access\": {:.4},\n    \
+         \"encode\": {},\n    \"load\": {},\n    \"decode\": {},\n    \
+         \"decode_index\": {},\n    \"decode_batch\": {},\n    \
+         \"convert_from_v1\": {}\n  }},\n  \
+         \"v2_decode_speedup\": {:.3},\n  \"bit_exact\": true\n}}\n",
+        v1.bytes,
+        v1.bytes_per_access,
+        stage(v1.encode_s),
+        stage(v1_load_s),
+        stage(v1.decode_s),
+        v2.bytes,
+        v2.bytes_per_access,
+        stage(v2.encode_s),
+        stage(v2_load_s),
+        stage(v2.decode_s),
+        stage(index_s),
+        stage(batch_s),
+        stage(convert_s),
+        speedup,
     )
 }
 

@@ -4,7 +4,8 @@
 
 use sdbp_cache::kernel::{merge_shards, replay_shard, replay_sharded, shard_queue, ShardPlan, ShardResult, ThreadRunner};
 use sdbp_cache::recorder::{
-    merge_llc_streams, record_for_core, try_record_for_core, LlcAccess, RecordError,
+    merge_llc_streams, record_for_core, try_record_batches, try_record_for_core,
+    LlcAccess, RecordError,
     RecordedWorkload,
 };
 use sdbp_cache::replay::{replay, split_hits_by_core, ReplayResult};
@@ -90,6 +91,12 @@ pub fn record_source_label(name: &str, core: u8) -> String {
 /// Records `instructions` instructions streamed from any [`TraceSource`]
 /// (a synthetic generator or a `.sdbt` file) for `core`.
 ///
+/// Sources with a columnar fast path
+/// ([`TraceSource::open_batched`]) are consumed a decoded chunk at a
+/// time through [`try_record_batches`]; everything else takes the
+/// per-record stream. Both doors are bit-identical by contract, so the
+/// choice is invisible to every caller.
+///
 /// # Errors
 ///
 /// A stream that fails to open, errors mid-flight (corrupt archive), or
@@ -100,6 +107,13 @@ pub fn record_from_source(
     instructions: u64,
     core: u8,
 ) -> Result<RecordedWorkload, String> {
+    if let Some(mut batches) = source.open_batched()? {
+        return try_record_batches(name, batches.as_mut(), instructions, core)
+            .map_err(|e| match e {
+                RecordError::Source(msg) => msg,
+                other => other.to_string(),
+            });
+    }
     let stream = source.open()?;
     try_record_for_core(name, stream, instructions, core).map_err(|e| match e {
         RecordError::Source(msg) => msg,

@@ -6,6 +6,7 @@
 //! sdbp-repro trace replay hmmer.sdbt
 //! sdbp-repro trace replay --workload 456.hmmer   # direct synthetic run
 //! sdbp-repro trace import --in foreign.txt --out foreign.sdbt
+//! sdbp-repro trace convert hmmer.sdbt --out hmmer.v2.sdbt --to 2
 //! sdbp-repro trace info hmmer.sdbt
 //! ```
 //!
@@ -23,6 +24,11 @@
 //! byte-identical at every shard count. `info --set-histogram SETS`
 //! appends an accesses-per-set decile breakdown — the skew fingerprint
 //! that predicts shard load balance.
+//!
+//! `convert` rewrites an archive between the compact varint v1 codec and
+//! the fixed-width columnar v2 codec (DESIGN.md §14) losslessly in either
+//! direction; `info` reports both codecs' real byte footprints for the
+//! file's stream so the space cost of the fast format is never a guess.
 
 use crate::runner::{
     record_from_source, run_policy_sampled_sharded, run_policy_sharded, PolicyKind,
@@ -37,7 +43,8 @@ use sdbp_sample::{
     build_plan, calibrate_bound, replay_sampled, replay_sampled_sharded, PlanConfig, SamplingPlan,
 };
 use sdbp_traceio::{
-    import_text, ChunkStat, FileSource, TraceMeta, TraceReader, TraceWriter, WriteSummary,
+    convert_path, import_text, ChunkStat, FileSource, TraceMeta, TraceReader, TraceWriter,
+    WriteSummary, FORMAT_V1, FORMAT_V2,
 };
 use sdbp_workloads::{benchmark, instructions};
 use std::io::Write as _;
@@ -51,6 +58,7 @@ pub fn run(args: &[String]) -> i32 {
         Some("replay") => cmd_replay(&args[1..]),
         Some("sample") => cmd_sample(&args[1..]),
         Some("import") => cmd_import(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("help") | Some("--help") | None => {
             eprintln!("{USAGE}");
@@ -76,6 +84,7 @@ const USAGE: &str = "usage:
                           [--warmup W] [--seed S] [--jobs J] [--core C]
   sdbp-repro trace sample PLAN.sdbs             (inspect an existing plan)
   sdbp-repro trace import --in FILE.txt --out FILE.sdbt [--name NAME]
+  sdbp-repro trace convert FILE.sdbt --out FILE.sdbt [--to 1|2]
   sdbp-repro trace info FILE.sdbt [--set-histogram SETS]
 
 --policy takes a registry spec like 'lru', 'rrip', or
@@ -84,7 +93,9 @@ replay reports the default LRU + Sampler pair. --sampled replays only the
 plan's representative windows and extrapolates (estimate + error bound).
 --shards splits the replay across set shards ('auto' = one per hardware
 thread); policies the registry marks non-shardable run serial, and the
-output is bit-identical at every shard count.";
+output is bit-identical at every shard count. convert rewrites an archive
+between codec versions losslessly (--to defaults to 2, the columnar
+fast-decode layout; 1 is the compact archival layout).";
 
 /// Tiny flag parser: `--key value` pairs plus positional arguments.
 struct Flags {
@@ -536,6 +547,75 @@ fn cmd_import(args: &[String]) -> Result<(), String> {
         .map(|summary| report_write(&out, &summary, started.elapsed().as_secs_f64()))
 }
 
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["out", "to"])?;
+    let [src] = flags.positional.as_slice() else {
+        return Err(format!("convert needs exactly one FILE.sdbt\n{USAGE}"));
+    };
+    let out = PathBuf::from(flags.get("out").ok_or("convert needs --out FILE.sdbt")?);
+    let to = match flags.get_u64("to")? {
+        None => FORMAT_V2,
+        Some(v) => u32::try_from(v).map_err(|_| format!("--to must be 1 or 2, got {v}"))?,
+    };
+    let started = Instant::now();
+    let summary = convert_path(Path::new(src), &out, to).map_err(|e| format!("{src}: {e}"))?;
+    let secs = started.elapsed().as_secs_f64();
+    eprintln!(
+        "[converted {src} (v{}) -> {} (v{}) — {} records, {} bytes, \
+         {:.2} bytes/access, {:.0} accesses/s]",
+        summary.from_version,
+        out.display(),
+        summary.to_version,
+        summary.write.instructions,
+        summary.write.bytes,
+        summary.write.bytes_per_access(),
+        if secs > 0.0 { summary.write.instructions as f64 / secs } else { 0.0 },
+    );
+    Ok(())
+}
+
+/// A byte-counting `Write + Seek` sink: measures what an encode would
+/// produce without buffering it, so `info` can report both codecs' real
+/// footprints for a stream without a second file or a large allocation.
+#[derive(Default)]
+struct CountBytes {
+    pos: u64,
+    len: u64,
+}
+
+impl std::io::Write for CountBytes {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.pos += buf.len() as u64;
+        self.len = self.len.max(self.pos);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl std::io::Seek for CountBytes {
+    fn seek(&mut self, pos: std::io::SeekFrom) -> std::io::Result<u64> {
+        use std::io::SeekFrom;
+        let target = match pos {
+            SeekFrom::Start(n) => Some(n),
+            SeekFrom::End(off) => self.len.checked_add_signed(off),
+            SeekFrom::Current(off) => self.pos.checked_add_signed(off),
+        };
+        match target {
+            Some(n) => {
+                self.pos = n;
+                Ok(n)
+            }
+            None => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "seek before byte 0",
+            )),
+        }
+    }
+}
+
 fn cmd_info(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &["set-histogram"])?;
     let [path] = flags.positional.as_slice() else {
@@ -560,12 +640,27 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
         TraceReader::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
     let meta = reader.meta().clone();
     // Stream every record so checksums and counts are fully validated.
+    // Tee each record through both codecs into byte-counting sinks, so
+    // the cross-version size report reflects real encodes of this exact
+    // stream, not a nominal formula.
+    let mut v1_count = TraceWriter::new(
+        CountBytes::default(),
+        TraceMeta::new(&meta.name, meta.seed).with_version(FORMAT_V1),
+    )
+    .map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut v2_count = TraceWriter::new(
+        CountBytes::default(),
+        TraceMeta::new(&meta.name, meta.seed).with_version(FORMAT_V2),
+    )
+    .map_err(|e| format!("{}: {e}", path.display()))?;
     let mut records: u64 = 0;
     let mut mem: u64 = 0;
     let mut writes: u64 = 0;
     let mut set_counts = hist_sets.map(|s| vec![0u64; s]);
     for item in reader.by_ref() {
         let instr = item.map_err(|e| format!("{}: {e}", path.display()))?;
+        v1_count.write(&instr).map_err(|e| format!("{}: {e}", path.display()))?;
+        v2_count.write(&instr).map_err(|e| format!("{}: {e}", path.display()))?;
         records += 1;
         if let Some(m) = instr.mem {
             mem += 1;
@@ -594,6 +689,24 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
         "encoded:      {encoded} payload bytes, {:.3}x vs {}-byte fixed-width records",
         encoded as f64 / nominal.max(1) as f64,
         ChunkStat::NOMINAL_RECORD_BYTES
+    );
+    // The columnar layout's per-column byte footprint is exact: 8 bytes
+    // per pc, 8 per address, 1 per flags byte, plus a 24-byte checksum
+    // preamble per chunk (DESIGN.md §14).
+    let chunks = reader.chunks_read();
+    println!(
+        "columns (v2): pcs {} B, addrs {} B, flags {records} B, checksums {} B",
+        records * 8,
+        records * 8,
+        chunks * 24
+    );
+    let v1_bytes =
+        v1_count.finish().map_err(|e| format!("{}: {e}", path.display()))?.bytes;
+    let v2_bytes =
+        v2_count.finish().map_err(|e| format!("{}: {e}", path.display()))?.bytes;
+    println!(
+        "v2 vs v1:     {v2_bytes} vs {v1_bytes} bytes ({:.3}x) for this stream",
+        v2_bytes as f64 / v1_bytes.max(1) as f64
     );
     for (index, stat) in stats.iter().enumerate() {
         println!(

@@ -12,7 +12,11 @@
 //!    [`WindowFingerprint`](sdbp_cache::WindowFingerprint) probe turns
 //!    each fixed-size access window into a 10-feature behavioural vector
 //!    (miss rate, set footprint, PC diversity, write mix, reuse-distance
-//!    histogram).
+//!    histogram). File traces reach this pass through `sdbp-traceio`'s
+//!    columnar v2 batch decoder, so fingerprinting a long trace is
+//!    replay-bound, not decode-bound — and the resulting plan is
+//!    container-independent: the same stream encoded as v1 or v2
+//!    produces a bit-identical `.sdbs` plan (`tests/plan_v2.rs`).
 //! 2. **Cluster** ([`kmeans`]): a fixed-seed, bit-stable k-means groups
 //!    the windows into phases — identical output across runs, input
 //!    permutations, and worker counts.

@@ -23,14 +23,13 @@ use crate::error::ServeError;
 use crate::lock_clean;
 use crate::protocol::{ErrorCode, Frame};
 use sdbp_cache::kernel::{replay_sharded, ShardPlan, ThreadRunner};
-use sdbp_cache::recorder::try_record_for_core;
+use sdbp_cache::recorder::try_record_batches;
 use sdbp_cache::replay::{replay, replay_with_probe, ReplayProbe, ReplayResult, WindowStream};
 use sdbp_cache::{Cache, CacheConfig, LlcAccess};
 use sdbp_cpu::CoreModel;
 use sdbp_engine::{Engine, Job};
-use sdbp_traceio::TraceReader;
+use sdbp_traceio::BufferedTrace;
 use std::collections::VecDeque;
-use std::io::Cursor;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -435,10 +434,14 @@ fn run_replay(
     sharding: ShardKnobs,
     stream: &mut TcpStream,
 ) -> Result<DoneStats, (ErrorCode, String)> {
-    let reader = TraceReader::new(Cursor::new(trace))
-        .map_err(|e| (ErrorCode::BadTrace, e.to_string()))?;
-    let meta = reader.meta().clone();
-    let workload = try_record_for_core(&meta.name, reader, meta.count, 0)
+    // Index the upload in place (no copy of the wire bytes) and record
+    // through the columnar batch door; decode-ahead validation happened
+    // at indexing time, so a corrupt upload fails before replay starts.
+    let buffered =
+        BufferedTrace::from_slice(trace).map_err(|e| (ErrorCode::BadTrace, e.to_string()))?;
+    let meta = buffered.meta().clone();
+    let mut batches = buffered.batches();
+    let workload = try_record_batches(&meta.name, &mut batches, meta.count, 0)
         .map_err(|e| (ErrorCode::BadTrace, e.to_string()))?;
     let spec: sdbp::registry::PolicySpec =
         policy.parse().map_err(|e: sdbp::SpecError| (ErrorCode::BadSpec, e.to_string()))?;

@@ -37,6 +37,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod access;
+pub mod batch;
 pub mod kernel;
 pub mod rng;
 pub mod source;
@@ -44,5 +45,6 @@ pub mod stats;
 pub mod synthetic;
 
 pub use access::{AccessKind, Addr, BlockAddr, Instr, MemRef, Pc};
+pub use batch::{BatchStream, ColumnBuf, InstrBatch, InstrBatcher};
 pub use source::{GeneratorSource, InstrStream, TraceSource};
 pub use synthetic::{SyntheticTrace, TraceBuilder};

@@ -16,6 +16,7 @@
 //! the bottom of the dependency graph.
 
 use crate::access::Instr;
+use crate::batch::BatchStream;
 use std::fmt;
 
 /// A fresh pass over a source's instruction stream.
@@ -47,6 +48,23 @@ pub trait TraceSource: fmt::Debug + Send {
     /// Returns a message when the source cannot be opened at all (e.g. a
     /// missing or malformed trace file).
     fn open(&self) -> Result<InstrStream<'_>, String>;
+
+    /// Opens a fresh *batched* pass over the stream, when the source has
+    /// a columnar fast path.
+    ///
+    /// Returns `Ok(None)` when only the per-record stream is available
+    /// (the default); consumers fall back to [`open`](TraceSource::open).
+    /// A batched pass must yield exactly the same records in the same
+    /// order as the per-record stream — the record→replay byte-identity
+    /// contract does not care which door the records came through.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the source advertises batches but cannot
+    /// be opened (e.g. a corrupt trace file).
+    fn open_batched(&self) -> Result<Option<BatchStream<'_>>, String> {
+        Ok(None)
+    }
 }
 
 /// A synthetic source: a named, seeded generator function.

@@ -73,6 +73,23 @@ pub enum TraceIoError {
         /// What was wrong with it.
         detail: String,
     },
+    /// A v2 chunk's payload length disagrees with its record count —
+    /// the columns cannot all be the width the frame promises.
+    ColumnLength {
+        /// Zero-based index of the failing chunk.
+        chunk: u64,
+        /// Payload bytes the record count requires.
+        expected: u64,
+        /// Payload bytes the frame actually carries.
+        found: u64,
+    },
+    /// One column of a v2 chunk failed its checksum.
+    ColumnChecksum {
+        /// Zero-based index of the failing chunk.
+        chunk: u64,
+        /// Which column (`"pcs"`, `"addrs"` or `"flags"`).
+        column: &'static str,
+    },
 }
 
 impl fmt::Display for TraceIoError {
@@ -113,6 +130,14 @@ impl fmt::Display for TraceIoError {
             TraceIoError::Import { line, detail } => {
                 write!(f, "import failed at line {line}: {detail}")
             }
+            TraceIoError::ColumnLength { chunk, expected, found } => write!(
+                f,
+                "column layout mismatch in chunk {chunk}: record count \
+                 requires {expected} payload bytes, frame carries {found}"
+            ),
+            TraceIoError::ColumnChecksum { chunk, column } => {
+                write!(f, "checksum mismatch in {column} column of chunk {chunk}")
+            }
         }
     }
 }
@@ -147,6 +172,11 @@ mod tests {
             (TraceIoError::Import { line: 7, detail: "x".into() }, "line 7"),
             (TraceIoError::NameTooLong { len: 5000, max: 4096 }, "5000"),
             (TraceIoError::ChunkTooLarge { bytes: 1 << 33 }, "u32 frame limit"),
+            (
+                TraceIoError::ColumnLength { chunk: 2, expected: 41, found: 40 },
+                "chunk 2",
+            ),
+            (TraceIoError::ColumnChecksum { chunk: 4, column: "addrs" }, "addrs"),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err}");

@@ -1,5 +1,5 @@
 //! On-disk layout of the `.sdbt` container: magic, header, chunk frames,
-//! and the varint + delta record codec.
+//! and the two record codecs — v1 varint + delta, v2 fixed-width columns.
 //!
 //! ```text
 //! file   := header chunk* end-marker
@@ -13,20 +13,47 @@
 //! [`TraceWriter::finish`](crate::TraceWriter::finish); `global_fnv` folds
 //! every chunk's payload checksum in order, so a validating reader detects
 //! chunk reordering or replacement even when each chunk is self-consistent.
+//! The framing is identical in both versions; only the payload encoding
+//! differs, selected by the header `version` field.
 //!
-//! Within a chunk, each record is a flags byte followed by a zigzag-varint
-//! program-counter delta and (for memory instructions) a zigzag-varint
-//! address delta. Delta state resets at every chunk boundary, which makes
-//! chunks independently decodable — the property the corrupt-tolerant
-//! reader relies on to report *which* chunk failed.
+//! **v1 payload** (compact archival form): each record is a flags byte
+//! followed by a zigzag-varint program-counter delta and (for memory
+//! instructions) a zigzag-varint address delta. Delta state resets at
+//! every chunk boundary, which makes chunks independently decodable — the
+//! property the corrupt-tolerant reader relies on to report *which* chunk
+//! failed.
+//!
+//! **v2 payload** (columnar replay form): three fixed-width parallel
+//! columns with a per-column checksum preamble —
+//!
+//! ```text
+//! payload := pcs_fnv(u64) addrs_fnv(u64) flags_fnv(u64)
+//!            pcs[records × u64] addrs[records × u64] flags[records × u8]
+//! ```
+//!
+//! so `payload_len` is exactly `24 + 17 × records` and a fully-buffered
+//! reader can hand out whole columns without per-record decode: the flags
+//! column is borrowed straight from the file bytes, the `u64` columns are
+//! widened in one bulk pass per chunk. Non-memory records store `0` in
+//! their address slot. All three column checksums are word-folded FNV-1a
+//! ([`fnv1a_words`]: one step per aligned 8-byte word, byte-wise tail),
+//! so validation scales with records, not bytes. See DESIGN.md §14 for
+//! the borrow rules and why v1 stays the archival default.
 
+use sdbp_trace::batch::ColumnBuf;
 use sdbp_trace::{AccessKind, Addr, Instr, MemRef, Pc};
 
 /// Magic bytes identifying an `.sdbt` file.
 pub const MAGIC: [u8; 8] = *b"SDBTRACE";
 
+/// The varint + delta archival layout (the default written format).
+pub const FORMAT_V1: u32 = 1;
+
+/// The fixed-width columnar replay layout.
+pub const FORMAT_V2: u32 = 2;
+
 /// Newest container version this build reads and writes.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = FORMAT_V2;
 
 /// Default records per chunk (~64 Ki records, a few hundred KiB encoded).
 pub const DEFAULT_CHUNK_RECORDS: u32 = 1 << 16;
@@ -39,14 +66,10 @@ pub const MAX_NAME_LEN: usize = 4096;
 /// version and seed).
 pub const COUNT_OFFSET: u64 = 8 + 4 + 8;
 
-/// Flags byte: the record is a memory instruction.
-pub const FLAG_MEM: u8 = 1 << 0;
-/// Flags byte: the memory reference is a write.
-pub const FLAG_WRITE: u8 = 1 << 1;
-/// Flags byte: the next instruction depends on this load (pointer chase).
-pub const FLAG_DEPENDENT: u8 = 1 << 2;
-/// Any set bit outside this mask marks a corrupt or future record.
-pub const FLAG_MASK: u8 = FLAG_MEM | FLAG_WRITE | FLAG_DEPENDENT;
+// The flags byte is the canonical record encoding shared with in-memory
+// batches; both codecs and `sdbp_trace::batch` must agree bit-for-bit, so
+// there is exactly one definition.
+pub use sdbp_trace::batch::{FLAG_DEPENDENT, FLAG_MASK, FLAG_MEM, FLAG_WRITE};
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -62,6 +85,51 @@ pub fn fnv1a_step(mut hash: u64, bytes: &[u8]) -> u64 {
 /// FNV-1a 64 of `bytes` from the standard offset basis.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
     fnv1a_step(FNV_OFFSET, bytes)
+}
+
+/// Word-folded FNV-1a 64 of a `u64` column: one xor-multiply step per
+/// value instead of one per byte. This is the checksum the v2 layout
+/// stores for its fixed-width u64 columns — verification cost scales
+/// with records, not bytes, which is what keeps validating batch decode
+/// fast. Identical to [`fnv1a_words`] over the serialized column bytes.
+pub fn fnv1a_u64s(vals: &[u64]) -> u64 {
+    vals.iter().fold(FNV_OFFSET, |h, v| (h ^ v).wrapping_mul(FNV_PRIME))
+}
+
+/// [`fnv1a_u64s`] applied to a serialized column: folds each aligned
+/// 8-byte little-endian word as one unit; a trailing partial word (the
+/// flags column when `records % 8 != 0`) folds byte-wise so the hash
+/// still covers every byte.
+pub fn fnv1a_words(bytes: &[u8]) -> u64 {
+    let mut chunks = bytes.chunks_exact(8);
+    let mut hash = FNV_OFFSET;
+    for chunk in chunks.by_ref() {
+        if let Ok(arr) = <[u8; 8]>::try_from(chunk) {
+            hash = (hash ^ u64::from_le_bytes(arr)).wrapping_mul(FNV_PRIME);
+        }
+    }
+    fnv1a_step(hash, chunks.remainder())
+}
+
+/// [`fnv1a_words`] of two equal-length columns in one pass. Each hash is
+/// a serial xor-multiply dependency chain, so folding the `pcs` and
+/// `addrs` columns in the same loop lets the two independent chains
+/// overlap in the pipeline — validation runs at nearly the single-column
+/// cost. Falls back to two separate folds when the lengths differ.
+pub fn fnv1a_words_pair(a: &[u8], b: &[u8]) -> (u64, u64) {
+    if a.len() != b.len() {
+        return (fnv1a_words(a), fnv1a_words(b));
+    }
+    let (mut ha, mut hb) = (FNV_OFFSET, FNV_OFFSET);
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (wa, wb) in ca.by_ref().zip(cb.by_ref()) {
+        if let (Ok(aa), Ok(ab)) = (<[u8; 8]>::try_from(wa), <[u8; 8]>::try_from(wb)) {
+            ha = (ha ^ u64::from_le_bytes(aa)).wrapping_mul(FNV_PRIME);
+            hb = (hb ^ u64::from_le_bytes(ab)).wrapping_mul(FNV_PRIME);
+        }
+    }
+    (fnv1a_step(ha, ca.remainder()), fnv1a_step(hb, cb.remainder()))
 }
 
 /// The running whole-file checksum: chunk payload checksums folded in
@@ -199,6 +267,102 @@ impl DeltaState {
     }
 }
 
+/// Byte length of the v2 per-chunk column-checksum preamble
+/// (`pcs_fnv`, `addrs_fnv`, `flags_fnv`).
+pub const V2_PREAMBLE_LEN: usize = 24;
+
+/// Encoded bytes per record in a v2 chunk payload (8 PC + 8 address +
+/// 1 flags).
+pub const V2_RECORD_BYTES: usize = 17;
+
+/// Exact v2 payload length for a chunk of `records` records.
+pub const fn v2_payload_len(records: usize) -> usize {
+    V2_PREAMBLE_LEN + records * V2_RECORD_BYTES
+}
+
+/// The three raw columns of one v2 chunk payload, split but not yet
+/// checksum-verified or widened. Borrowed straight from the payload
+/// bytes — splitting allocates nothing.
+#[derive(Copy, Clone, Debug)]
+pub struct V2Columns<'a> {
+    /// Serialized program-counter column (`records × 8` bytes, LE).
+    pub pcs_bytes: &'a [u8],
+    /// Serialized address column (`records × 8` bytes, LE).
+    pub addrs_bytes: &'a [u8],
+    /// Flags column, one canonical flags byte per record.
+    pub flags: &'a [u8],
+    /// Declared checksum of the PC column bytes.
+    pub pcs_fnv: u64,
+    /// Declared checksum of the address column bytes.
+    pub addrs_fnv: u64,
+    /// Declared checksum of the flags column.
+    pub flags_fnv: u64,
+}
+
+/// Serializes buffered columns as one v2 chunk payload appended to `out`.
+///
+/// Layout: 24-byte checksum preamble, then the PC, address and flags
+/// columns back to back (fixed width, no padding — the odd-sized flags
+/// column goes last so the `u64` columns stay 8-aligned *within* the
+/// payload).
+pub fn encode_v2_payload(cols: &ColumnBuf, out: &mut Vec<u8>) {
+    out.extend_from_slice(&fnv1a_u64s(&cols.pcs).to_le_bytes());
+    out.extend_from_slice(&fnv1a_u64s(&cols.addrs).to_le_bytes());
+    out.extend_from_slice(&fnv1a_words(&cols.flags).to_le_bytes());
+    for v in &cols.pcs {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    for v in &cols.addrs {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.extend_from_slice(&cols.flags);
+}
+
+/// Splits a v2 chunk payload into its three columns.
+///
+/// Returns `None` when `payload.len()` is not exactly
+/// [`v2_payload_len`]`(records)` — the column-length-mismatch corruption
+/// case; the caller maps it to a typed error naming the chunk.
+pub fn split_v2_payload(payload: &[u8], records: usize) -> Option<V2Columns<'_>> {
+    if payload.len() != v2_payload_len(records) {
+        return None;
+    }
+    let col = records.checked_mul(8)?;
+    let mut pos = 0usize;
+    let mut take = |len: usize| -> Option<&[u8]> {
+        let part = payload.get(pos..pos + len)?;
+        pos += len;
+        Some(part)
+    };
+    let read_fnv = |bytes: &[u8]| -> Option<u64> {
+        <[u8; 8]>::try_from(bytes).ok().map(u64::from_le_bytes)
+    };
+    let pcs_fnv = read_fnv(take(8)?)?;
+    let addrs_fnv = read_fnv(take(8)?)?;
+    let flags_fnv = read_fnv(take(8)?)?;
+    let pcs_bytes = take(col)?;
+    let addrs_bytes = take(col)?;
+    let flags = take(records)?;
+    Some(V2Columns { pcs_bytes, addrs_bytes, flags, pcs_fnv, addrs_fnv, flags_fnv })
+}
+
+/// Widens a serialized little-endian `u64` column into `out` (cleared
+/// first) in one bulk pass — the only copy the v2 decode path performs.
+///
+/// Trailing bytes that do not fill a full `u64` are ignored; callers
+/// validate exact column lengths before widening ([`split_v2_payload`]).
+pub fn widen_column(bytes: &[u8], out: &mut Vec<u64>) {
+    out.clear();
+    out.reserve(bytes.len() / 8);
+    for chunk in bytes.chunks_exact(8) {
+        // Always 8 bytes here, so the conversion never fails; written
+        // without indexing to keep this panic-free by construction.
+        if let Ok(arr) = <[u8; 8]>::try_from(chunk) {
+            out.push(u64::from_le_bytes(arr));
+        }
+    }
+}
+
 /// Everything the header records about a trace.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct TraceMeta {
@@ -215,8 +379,20 @@ pub struct TraceMeta {
 
 impl TraceMeta {
     /// Metadata for a new recording (count is filled in at finish time).
+    ///
+    /// Defaults to the v1 archival layout; chain
+    /// [`with_version`](TraceMeta::with_version) to target v2.
     pub fn new(name: impl Into<String>, seed: u64) -> Self {
-        TraceMeta { name: name.into(), seed, count: 0, version: FORMAT_VERSION }
+        TraceMeta { name: name.into(), seed, count: 0, version: FORMAT_V1 }
+    }
+
+    /// The same metadata targeting container `version`.
+    ///
+    /// The writer rejects versions it cannot encode
+    /// ([`FORMAT_V1`]..=[`FORMAT_V2`]) at construction time.
+    pub fn with_version(mut self, version: u32) -> Self {
+        self.version = version;
+        self
     }
 
     /// Serializes the header, including its trailing checksum.
@@ -314,6 +490,48 @@ mod tests {
         let body = &bytes[..bytes.len() - 8];
         let fnv = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
         assert_eq!(fnv, fnv1a(body));
+    }
+
+    #[test]
+    fn v2_payload_round_trips_and_checksums() {
+        let instrs = vec![
+            Instr::non_mem(Pc::new(0x400_000)),
+            Instr::mem(Pc::new(0x400_004), MemRef::read(Addr::new(0x1_0000_0040))),
+            Instr::mem(Pc::new(0x400_000), MemRef::write(Addr::new(u64::MAX)).dependent()),
+        ];
+        let mut cols = ColumnBuf::default();
+        for i in &instrs {
+            cols.push(i);
+        }
+        let mut payload = Vec::new();
+        encode_v2_payload(&cols, &mut payload);
+        assert_eq!(payload.len(), v2_payload_len(instrs.len()));
+        let split = split_v2_payload(&payload, instrs.len()).unwrap();
+        assert_eq!(split.pcs_fnv, fnv1a_words(split.pcs_bytes));
+        assert_eq!(split.addrs_fnv, fnv1a_words(split.addrs_bytes));
+        assert_eq!(split.flags_fnv, fnv1a_words(split.flags));
+        let (mut pcs, mut addrs) = (Vec::new(), Vec::new());
+        widen_column(split.pcs_bytes, &mut pcs);
+        widen_column(split.addrs_bytes, &mut addrs);
+        assert_eq!(pcs, cols.pcs);
+        assert_eq!(addrs, cols.addrs);
+        assert_eq!(split.flags, &cols.flags[..]);
+        // Length mismatches are detected in both directions.
+        assert!(split_v2_payload(&payload, instrs.len() + 1).is_none());
+        assert!(split_v2_payload(&payload[..payload.len() - 1], instrs.len()).is_none());
+    }
+
+    #[test]
+    fn fnv_u64_column_matches_byte_hash() {
+        let vals = [0u64, 1, u64::MAX, 0xdead_beef];
+        let mut bytes = Vec::new();
+        for v in &vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(fnv1a_u64s(&vals), fnv1a_words(&bytes));
+        // A partial trailing word still covers every byte.
+        bytes.push(0x5a);
+        assert_ne!(fnv1a_words(&bytes), fnv1a_u64s(&vals));
     }
 
     #[test]

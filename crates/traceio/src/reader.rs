@@ -2,8 +2,11 @@
 
 use crate::error::TraceIoError;
 use crate::format::{
-    DeltaState, GlobalChecksum, TraceMeta, FORMAT_VERSION, MAGIC, MAX_NAME_LEN, fnv1a,
+    fnv1a, fnv1a_words, fnv1a_words_pair, split_v2_payload, DeltaState, GlobalChecksum, TraceMeta,
+    FLAG_MASK, FORMAT_V2, FORMAT_VERSION, MAGIC, MAX_NAME_LEN, V2_PREAMBLE_LEN,
+    V2_RECORD_BYTES,
 };
+use sdbp_trace::batch::instr_from_columns;
 use sdbp_trace::Instr;
 use std::fs::File;
 use std::io::{BufReader, Read};
@@ -70,6 +73,7 @@ pub struct TraceReader<R: Read> {
     integrity: Integrity,
     chunk: Vec<u8>,
     pos: usize,
+    chunk_records: u32,
     chunk_records_left: u32,
     delta: DeltaState,
     chunk_index: u64,
@@ -124,6 +128,7 @@ impl<R: Read> TraceReader<R> {
             integrity,
             chunk: Vec::new(),
             pos: 0,
+            chunk_records: 0,
             chunk_records_left: 0,
             delta: DeltaState::default(),
             chunk_index: 0,
@@ -180,7 +185,17 @@ impl<R: Read> TraceReader<R> {
         }
         self.chunk.resize(payload_len as usize, 0);
         read_exact(&mut self.src, &mut self.chunk, "chunk payload")?;
-        if self.integrity == Integrity::Validate {
+        if self.meta.version >= FORMAT_V2 {
+            // v2 chunks carry per-column checksums covering every payload
+            // byte after the preamble, so integrity needs only one hash
+            // pass: verify the columns, chain the *declared* chunk
+            // checksum into the global, and let a forged declared value
+            // surface as a trailer mismatch.
+            if self.integrity == Integrity::Validate {
+                self.global.fold(checksum);
+            }
+            self.validate_v2_chunk(records)?;
+        } else if self.integrity == Integrity::Validate {
             let actual = fnv1a(&self.chunk);
             if actual != checksum {
                 return Err(TraceIoError::ChunkChecksum { chunk: self.chunk_index });
@@ -188,10 +203,63 @@ impl<R: Read> TraceReader<R> {
             self.global.fold(actual);
         }
         self.pos = 0;
+        self.chunk_records = records;
         self.chunk_records_left = records;
         self.delta = DeltaState::default();
         self.chunk_stats.push(ChunkStat { records, payload_bytes: payload_len });
         Ok(true)
+    }
+
+    /// Checks the freshly loaded chunk's columnar layout: exact payload
+    /// length for the record count, and (in validating mode) all three
+    /// per-column checksums.
+    fn validate_v2_chunk(&self, records: u32) -> Result<(), TraceIoError> {
+        let expected = V2_PREAMBLE_LEN as u64 + V2_RECORD_BYTES as u64 * u64::from(records);
+        let cols = split_v2_payload(&self.chunk, records as usize).ok_or(
+            TraceIoError::ColumnLength {
+                chunk: self.chunk_index,
+                expected,
+                found: self.chunk.len() as u64,
+            },
+        )?;
+        if self.integrity == Integrity::Validate {
+            // Word-folded FNV, with the two u64 columns fused into one
+            // pass so their serial hash chains overlap in the pipeline.
+            let (pcs_actual, addrs_actual) =
+                fnv1a_words_pair(cols.pcs_bytes, cols.addrs_bytes);
+            for (declared, actual, column) in [
+                (cols.pcs_fnv, pcs_actual, "pcs"),
+                (cols.addrs_fnv, addrs_actual, "addrs"),
+                (cols.flags_fnv, fnv1a_words(cols.flags), "flags"),
+            ] {
+                if actual != declared {
+                    return Err(TraceIoError::ColumnChecksum {
+                        chunk: self.chunk_index,
+                        column,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reassembles record `idx` of the current v2 chunk from its three
+    /// columns. `None` only on out-of-range offsets or unknown flag bits
+    /// (the layout itself was validated at chunk load).
+    fn decode_v2_record(&self, idx: usize) -> Option<Instr> {
+        let records = self.chunk_records as usize;
+        let pc_off = V2_PREAMBLE_LEN + idx * 8;
+        let addr_off = V2_PREAMBLE_LEN + (records + idx) * 8;
+        let flags_off = V2_PREAMBLE_LEN + records * 16 + idx;
+        let read = |off: usize| -> Option<u64> {
+            let bytes = self.chunk.get(off..off + 8)?;
+            <[u8; 8]>::try_from(bytes).ok().map(u64::from_le_bytes)
+        };
+        let flags = *self.chunk.get(flags_off)?;
+        if flags & !FLAG_MASK != 0 {
+            return None;
+        }
+        Some(instr_from_columns(flags, read(pc_off)?, read(addr_off)?))
     }
 
     fn next_record(&mut self) -> Result<Option<Instr>, TraceIoError> {
@@ -204,16 +272,23 @@ impl<R: Read> TraceReader<R> {
         // chunk_index was already advanced past this chunk; report its
         // zero-based index.
         let here = self.chunk_index - 1;
-        let instr = self
-            .delta
-            .decode(&self.chunk, &mut self.pos)
-            .ok_or(TraceIoError::CorruptRecord { chunk: here })?;
+        let instr = if self.meta.version >= FORMAT_V2 {
+            let idx = (self.chunk_records - self.chunk_records_left) as usize;
+            self.decode_v2_record(idx)
+                .ok_or(TraceIoError::CorruptRecord { chunk: here })?
+        } else {
+            let instr = self
+                .delta
+                .decode(&self.chunk, &mut self.pos)
+                .ok_or(TraceIoError::CorruptRecord { chunk: here })?;
+            if self.chunk_records_left == 1 && self.pos != self.chunk.len() {
+                // Trailing garbage inside the frame is as corrupt as a
+                // short record.
+                return Err(TraceIoError::CorruptRecord { chunk: here });
+            }
+            instr
+        };
         self.chunk_records_left -= 1;
-        if self.chunk_records_left == 0 && self.pos != self.chunk.len() {
-            // Trailing garbage inside the frame is as corrupt as a short
-            // record.
-            return Err(TraceIoError::CorruptRecord { chunk: here });
-        }
         self.decoded += 1;
         Ok(Some(instr))
     }
@@ -282,7 +357,8 @@ fn read_u64<R: Read>(src: &mut R, context: &'static str) -> Result<u64, TraceIoE
 }
 
 /// Reads and validates the header, leaving `src` at the first chunk.
-fn read_header<R: Read>(src: &mut R) -> Result<TraceMeta, TraceIoError> {
+/// Shared with the fully-buffered reader (`&[u8]` implements `Read`).
+pub(crate) fn read_header<R: Read>(src: &mut R) -> Result<TraceMeta, TraceIoError> {
     let mut magic = [0u8; 8];
     read_exact(src, &mut magic, "header magic")?;
     if magic != MAGIC {

@@ -2,8 +2,10 @@
 
 use crate::error::TraceIoError;
 use crate::format::{
-    DeltaState, GlobalChecksum, TraceMeta, DEFAULT_CHUNK_RECORDS, MAX_NAME_LEN, fnv1a,
+    encode_v2_payload, fnv1a, DeltaState, GlobalChecksum, TraceMeta,
+    DEFAULT_CHUNK_RECORDS, FORMAT_V1, FORMAT_V2, FORMAT_VERSION, MAX_NAME_LEN,
 };
+use sdbp_trace::batch::ColumnBuf;
 use sdbp_trace::Instr;
 use std::fs::File;
 use std::io::{BufWriter, Seek, SeekFrom, Write};
@@ -59,6 +61,7 @@ pub struct TraceWriter<W: Write + Seek> {
     out: W,
     meta: TraceMeta,
     delta: DeltaState,
+    cols: ColumnBuf,
     chunk: Vec<u8>,
     chunk_records: u32,
     records_per_chunk: u32,
@@ -86,10 +89,18 @@ impl<W: Write + Seek> TraceWriter<W> {
     /// # Errors
     ///
     /// [`TraceIoError::NameTooLong`] if the workload name exceeds
-    /// [`MAX_NAME_LEN`]; otherwise propagates write errors.
+    /// [`MAX_NAME_LEN`]; [`TraceIoError::UnsupportedVersion`] if
+    /// `meta.version` names a layout this build cannot encode; otherwise
+    /// propagates write errors.
     pub fn new(mut out: W, meta: TraceMeta) -> Result<Self, TraceIoError> {
         if meta.name.len() > MAX_NAME_LEN {
             return Err(TraceIoError::NameTooLong { len: meta.name.len(), max: MAX_NAME_LEN });
+        }
+        if !(FORMAT_V1..=FORMAT_V2).contains(&meta.version) {
+            return Err(TraceIoError::UnsupportedVersion {
+                found: meta.version,
+                supported: FORMAT_VERSION,
+            });
         }
         let header = meta.to_bytes();
         out.write_all(&header)?;
@@ -97,6 +108,7 @@ impl<W: Write + Seek> TraceWriter<W> {
             out,
             meta,
             delta: DeltaState::default(),
+            cols: ColumnBuf::default(),
             chunk: Vec::new(),
             chunk_records: 0,
             records_per_chunk: DEFAULT_CHUNK_RECORDS,
@@ -126,7 +138,11 @@ impl<W: Write + Seek> TraceWriter<W> {
     ///
     /// Propagates write errors from flushing a completed chunk.
     pub fn write(&mut self, instr: &Instr) -> Result<(), TraceIoError> {
-        self.delta.encode(instr, &mut self.chunk);
+        if self.meta.version >= FORMAT_V2 {
+            self.cols.push(instr);
+        } else {
+            self.delta.encode(instr, &mut self.chunk);
+        }
         self.chunk_records += 1;
         self.count += 1;
         if self.chunk_records >= self.records_per_chunk {
@@ -153,6 +169,12 @@ impl<W: Write + Seek> TraceWriter<W> {
     fn flush_chunk(&mut self) -> Result<(), TraceIoError> {
         if self.chunk_records == 0 {
             return Ok(());
+        }
+        if self.meta.version >= FORMAT_V2 {
+            // Columns buffer until the chunk closes; serialize them as
+            // one columnar payload now.
+            encode_v2_payload(&self.cols, &mut self.chunk);
+            self.cols.clear();
         }
         let payload_fnv = fnv1a(&self.chunk);
         let payload_len = u32::try_from(self.chunk.len())
